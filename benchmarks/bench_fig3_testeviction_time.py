@@ -1,0 +1,78 @@
+"""Figure 3 — sequential vs. parallel TestEviction execution time.
+
+Paper (Figure 3 / Section 4.3): on Cloud Run, parallel TestEviction is an
+order of magnitude faster than the sequential (pointer-chase) form — e.g.
+testing 11*U_LLC candidates takes ~134.8 us parallel vs ~4.6 ms
+sequential — which directly sets each test's noise exposure window.
+
+Here: both TestEviction forms over a sweep of candidate counts on the
+cloud machine, printing per-count times and the speedup.
+
+Expected shape: time linear in the candidate count for both forms;
+sequential/parallel ratio roughly an order of magnitude, growing with N.
+"""
+
+from __future__ import annotations
+
+from _common import PAGE_OFFSET, make_env, print_header
+from repro._util import mean
+from repro.analysis import Table
+from repro.core.evset import build_candidate_set
+from repro.core.evset.primitives import EvictionTester
+
+#: Candidate-count sweep (the paper sweeps up to ~3UW; ours: N=1152).
+COUNTS = [72, 144, 288, 576, 1152]
+REPS = 12
+
+
+def run_fig3() -> dict:
+    print_header(
+        "Figure 3: TestEviction execution time vs. candidate count",
+        "Paper: parallel ~10x faster than sequential at every size.",
+    )
+    machine, ctx = make_env("cloud-raw", seed=33)
+    cand = build_candidate_set(ctx, PAGE_OFFSET)
+    target = cand.vas.pop()
+    clock_mhz = machine.cfg.clock_ghz * 1e3  # cycles per us
+
+    table = Table(
+        "Figure 3 (us per TestEviction, cloud machine)",
+        ["Candidates", "Sequential (us)", "Parallel (us)", "Seq/Par"],
+    )
+    ratios = []
+    series = {}
+    for count in COUNTS:
+        seq_tester = EvictionTester(ctx, mode="llc", parallel=False)
+        par_tester = EvictionTester(ctx, mode="llc", parallel=True)
+        seq_times, par_times = [], []
+        for _ in range(REPS):
+            t0 = machine.now
+            par_tester.test(target, cand.vas, n=count)
+            par_times.append((machine.now - t0) / clock_mhz)
+            t0 = machine.now
+            seq_tester.test(target, cand.vas, n=count)
+            seq_times.append((machine.now - t0) / clock_mhz)
+        seq_us, par_us = mean(seq_times), mean(par_times)
+        ratio = seq_us / par_us
+        ratios.append(ratio)
+        series[count] = (seq_us, par_us)
+        table.add_row(count, f"{seq_us:.1f}", f"{par_us:.1f}", f"{ratio:.1f}x")
+    table.print()
+    print("Paper reference point: 11*U_LLC candidates = 134.8 us parallel, "
+          "~4.6 ms sequential (full-scale N).\n")
+
+    # Shape: order-of-magnitude gap, linear-ish growth.
+    assert min(ratios) > 4.0, "parallel must be several times faster"
+    assert max(ratios) > 7.5, "gap should approach an order of magnitude"
+    big, small = series[COUNTS[-1]], series[COUNTS[0]]
+    scale = COUNTS[-1] / COUNTS[0]
+    assert big[1] > 0.4 * scale * small[1], "parallel time ~linear in N"
+    assert big[0] > 0.4 * scale * small[0], "sequential time ~linear in N"
+    return {
+        "ratio_at_max_n": ratios[-1],
+        "parallel_us_at_max_n": series[COUNTS[-1]][1],
+    }
+
+
+def bench_fig3(run_once):
+    run_once(run_fig3)

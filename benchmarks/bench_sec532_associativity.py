@@ -1,0 +1,133 @@
+"""Section 5.3.2 — algorithm scaling with cache associativity.
+
+Paper (Section 5.3.2, quiescent local machines): moving from Skylake-SP
+(12-way SF, 16-way L2) to Ice Lake-SP (16-way SF, 20-way L2) widens the
+gap between group testing and binary search:
+
+    SF:  GT/BinS 1.91 -> 2.27,  GTOp/BinS 1.51 -> 1.83
+    L2:  GT/BinS 1.87 -> 6.35,  GTOp/BinS 1.43 -> 3.58
+
+because group testing costs O(W^2 N) accesses vs O(W N log N) for BinS.
+
+Here: single-set SF and L2 constructions on the scaled Skylake and
+Ice Lake machines (quiet), comparing mean construction times; candidate
+filtering enabled for SF per the paper (its time excluded by measuring
+pruning from pre-filtered candidates).
+
+Expected shape: every GT*/BinS time ratio grows from Skylake to Ice Lake.
+"""
+
+from __future__ import annotations
+
+from _common import PAGE_OFFSET, icelake_machine_cfg, print_header
+from repro._util import mean
+from repro.analysis import Table
+from repro.config import no_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import (
+    EvsetConfig,
+    build_candidate_set,
+    construct_l2_evset,
+    construct_sf_evset,
+)
+from repro.core.evset.filtering import build_l2_eviction_set, filter_candidates
+from repro.memsys.machine import Machine
+
+ALGOS = ["gt", "gtop", "bins"]
+TRIALS = 4
+CFG = EvsetConfig(budget_ms=200.0)
+
+PAPER_RATIOS = {
+    ("skylake", "sf"): {"gt": 1.91, "gtop": 1.51},
+    ("icelake", "sf"): {"gt": 2.27, "gtop": 1.83},
+    ("skylake", "l2"): {"gt": 1.87, "gtop": 1.43},
+    ("icelake", "l2"): {"gt": 6.35, "gtop": 3.58},
+}
+
+
+def _machine(kind: str, seed: int):
+    cfg = skylake_sp_small() if kind == "skylake" else icelake_machine_cfg()
+    machine = Machine(cfg, noise=no_noise(), seed=seed)
+    ctx = AttackerContext(machine, seed=seed + 1)
+    ctx.calibrate()
+    return machine, ctx
+
+
+def _sf_time(kind: str, algo: str, seed: int) -> float:
+    """SF construction time from pre-filtered candidates (ms)."""
+    machine, ctx = _machine(kind, seed)
+    cand = build_candidate_set(ctx, PAGE_OFFSET)
+    target = cand.vas.pop()
+    l2e = build_l2_eviction_set(ctx, target, CFG)
+    filtered = filter_candidates(ctx, l2e, cand.vas)
+    start = machine.now
+    outcome = construct_sf_evset(ctx, algo, target, filtered, CFG)
+    if not outcome.success:
+        return float("nan")
+    return (machine.now - start) / (machine.cfg.clock_ghz * 1e6)
+
+
+def _l2_time(kind: str, algo: str, seed: int) -> float:
+    machine, ctx = _machine(kind, seed)
+    size = 3 * machine.cfg.u_l2 * machine.cfg.l2.ways
+    cand = build_candidate_set(ctx, PAGE_OFFSET, size=size)
+    target = cand.vas.pop()
+    outcome = construct_l2_evset(ctx, algo, target, cand.vas, CFG)
+    if not outcome.success:
+        return float("nan")
+    return outcome.elapsed_ms(machine.cfg.clock_ghz)
+
+
+def run_sec532() -> dict:
+    print_header(
+        "Section 5.3.2: associativity scaling (Skylake vs Ice Lake)",
+        "Paper: GT*/BinS time ratios grow with associativity, sharply for L2.",
+    )
+    times = {}
+    for structure, fn in (("sf", _sf_time), ("l2", _l2_time)):
+        for kind in ("skylake", "icelake"):
+            for algo in ALGOS:
+                samples = [
+                    fn(kind, algo, seed=900 + 13 * i) for i in range(TRIALS)
+                ]
+                ok = [s for s in samples if s == s]  # drop NaN failures
+                times[(structure, kind, algo)] = mean(ok) if ok else float("nan")
+
+    table = Table(
+        "Section 5.3.2 (single-set construction time, quiet)",
+        ["Structure", "Machine", "GT (ms)", "GTOp (ms)", "BinS (ms)",
+         "GT/BinS (paper)", "GT/BinS", "GTOp/BinS (paper)", "GTOp/BinS"],
+    )
+    ratios = {}
+    for structure in ("sf", "l2"):
+        for kind in ("skylake", "icelake"):
+            t = {a: times[(structure, kind, a)] for a in ALGOS}
+            r_gt = t["gt"] / t["bins"]
+            r_gtop = t["gtop"] / t["bins"]
+            ratios[(structure, kind)] = (r_gt, r_gtop)
+            paper = PAPER_RATIOS[(kind, structure)]
+            table.add_row(
+                structure.upper(), kind,
+                f"{t['gt']:.2f}", f"{t['gtop']:.2f}", f"{t['bins']:.2f}",
+                f"{paper['gt']:.2f}", f"{r_gt:.2f}",
+                f"{paper['gtop']:.2f}", f"{r_gtop:.2f}",
+            )
+    table.print()
+
+    # Shape: the GT-family/BinS ratio grows with associativity.
+    assert ratios[("l2", "icelake")][0] > ratios[("l2", "skylake")][0], (
+        "L2 GT/BinS ratio must grow from Skylake (16-way) to Ice Lake (20-way)"
+    )
+    assert ratios[("sf", "icelake")][0] > 0.8 * ratios[("sf", "skylake")][0], (
+        "SF ratio should not shrink materially"
+    )
+    assert ratios[("l2", "icelake")][0] > 1.0, "GT slower than BinS at 20 ways"
+    return {
+        "l2_gt_ratio_skylake": ratios[("l2", "skylake")][0],
+        "l2_gt_ratio_icelake": ratios[("l2", "icelake")][0],
+        "sf_gt_ratio_icelake": ratios[("sf", "icelake")][0],
+    }
+
+
+def bench_sec532(run_once):
+    run_once(run_sec532)

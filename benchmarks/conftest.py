@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Benchmarks run each experiment once (``pedantic`` mode) — they are
+reproduction experiments with printed paper-vs-measured tables, not
+micro-benchmarks — and attach their headline metrics to the
+pytest-benchmark report via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Returns the experiment's result and records any numeric keys of a dict
+    result into the benchmark's extra_info.
+    """
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        if isinstance(result, dict):
+            for key, value in result.items():
+                if isinstance(value, (int, float)):
+                    benchmark.extra_info[key] = value
+        return result
+
+    return runner

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Cross-tenant covert channel through one Snoop-Filter set.
+
+Two containers on the same host agree (out of band) on a cache set.  The
+sender encodes bits by either storing to a line of that set (1) or staying
+quiet (0) in fixed time slots; the receiver runs the paper's Parallel
+Probing monitor and decodes slot occupancy.  This is the Section 6.1
+covert-channel experiment, extended into an actual byte channel with a
+measured error rate — under real Cloud Run noise levels.
+
+Run:  python examples/covert_channel.py
+"""
+
+from __future__ import annotations
+
+from repro.config import cloud_run_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.monitor import ParallelProbing, monitor_set
+from repro.memsys.machine import Machine
+
+MESSAGE = b"LLC attacks are feasible in the cloud!"
+SLOT_CYCLES = 8_000  # one bit per 4 us at 2 GHz
+
+
+def find_sender_line(machine, ctx, evset) -> int:
+    """The sender independently finds a line mapping to the agreed set."""
+    target_set = ctx.true_set_of(evset.target_va)
+    offset = evset.target_va % 4096
+    space = machine.new_address_space()
+    while True:
+        page = space.alloc_page()
+        line = space.translate_line(page + offset)
+        if machine.hierarchy.shared_set_index(line) == target_set:
+            return line
+
+
+def main() -> None:
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=7)
+    receiver = AttackerContext(machine, main_core=0, helper_core=1, seed=1)
+    receiver.calibrate()
+
+    # Step 1: the receiver builds an eviction set for the agreed set.
+    bulk = bulk_construct_page_offset(
+        receiver, "bins", 0x400, EvsetConfig(budget_ms=100)
+    )
+    evset = bulk.evsets[0]
+    print(f"receiver built {len(bulk.evsets)} eviction sets; monitoring one "
+          f"SF set with Parallel Probing")
+
+    # The sender (another tenant, core 3) schedules its transmission.
+    line = find_sender_line(machine, receiver, evset)
+    bits = [int(b) for byte in MESSAGE for b in f"{byte:08b}"]
+    hier = machine.hierarchy
+    sender_core = machine.cfg.cores - 1
+    t0 = machine.now + 50_000
+    for i, bit in enumerate(bits):
+        if bit:
+            when = t0 + i * SLOT_CYCLES + SLOT_CYCLES // 3
+            machine.schedule(
+                when, lambda t, l=line: hier.access(sender_core, l, t, write=True)
+            )
+
+    # Step 2: the receiver monitors and decodes slot occupancy.
+    trace = monitor_set(
+        ParallelProbing(receiver, evset),
+        duration_cycles=(len(bits) + 12) * SLOT_CYCLES,
+    )
+    decoded_bits = []
+    for i in range(len(bits)):
+        lo = t0 + i * SLOT_CYCLES
+        hi = lo + SLOT_CYCLES
+        decoded_bits.append(1 if any(lo <= t < hi for t in trace.timestamps) else 0)
+
+    errors = sum(1 for a, b in zip(bits, decoded_bits) if a != b)
+    decoded = bytes(
+        int("".join(map(str, decoded_bits[i : i + 8])), 2)
+        for i in range(0, len(decoded_bits) - 7, 8)
+    )
+    seconds = len(bits) * SLOT_CYCLES / machine.clock_hz
+    print(f"\nsent    : {MESSAGE!r}")
+    print(f"received: {decoded!r}")
+    print(f"bits: {len(bits)}, bit errors: {errors} "
+          f"({errors / len(bits):.2%}), raw rate: "
+          f"{len(bits) / seconds / 1e3:.0f} kbit/s under Cloud Run noise")
+    print(f"monitor observed {trace.access_count()} events "
+          f"({trace.access_count() - sum(bits)} from background tenants)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Evaluating a partition-based defense against the attack.
+
+The paper's mitigation survey (Section 8) splits defenses into
+partition-based (strong but costly) and randomization-based (cheap but
+leaky).  This example enables per-tenant **way partitioning** of the SF
+and LLC (Intel CAT / DAWG style) and re-runs the attack stages:
+
+* Step 1 still succeeds — the attacker happily builds eviction sets
+  inside its own ways (partitioning does not hide set mappings);
+* Steps 2-3 go blind — the victim's insertions can no longer evict the
+  attacker's lines, so Parallel Probing detects nothing and the PSD
+  scanner finds no target.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.config import cloud_run_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.monitor import ParallelProbing, monitor_set
+from repro.defenses import apply_way_partitioning
+from repro.defenses.partition import OTHER_DOMAIN
+from repro.memsys.machine import Machine
+from repro.victim import EcdsaVictim, VictimConfig
+
+
+def run_attack_stage(defended: bool, seed: int = 33):
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=seed)
+    if defended:
+        apply_way_partitioning(
+            machine,
+            core_domains={0: "attacker", 1: "attacker", 2: "victim", 3: "victim"},
+            sf_partitions={"attacker": 6, "victim": 3, OTHER_DOMAIN: 3},
+            llc_partitions={"attacker": 5, "victim": 3, OTHER_DOMAIN: 3},
+        )
+    victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=5)
+    ctx = AttackerContext(machine, main_core=0, helper_core=1, seed=1)
+    ctx.calibrate()
+
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    valid, covered = bulk.coverage(ctx)
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    target_evsets = [
+        e for e in bulk.evsets if ctx.true_set_of(e.target_va) == target_set
+    ]
+
+    detections = 0
+    if target_evsets:
+        victim.run_continuously(machine.now + 1000)
+        signing = victim.cfg.iter_cycles * victim.curve.nonce_bits
+        trace = monitor_set(
+            ParallelProbing(ctx, target_evsets[0]),
+            duration_cycles=int(signing / victim.cfg.duty_cycle),
+        )
+        detections = trace.access_count()
+    return {
+        "evsets": len(bulk.evsets),
+        "valid": valid,
+        "has_target_evset": bool(target_evsets),
+        "detections": detections,
+    }
+
+
+def main() -> None:
+    table = Table(
+        "Attack vs. way-partitioned SF/LLC",
+        ["Configuration", "Evsets built", "Valid", "Target evset",
+         "Victim detections in ~1 session"],
+    )
+    for defended in (False, True):
+        r = run_attack_stage(defended)
+        table.add_row(
+            "partitioned (CAT-like)" if defended else "baseline (shared ways)",
+            r["evsets"], r["valid"],
+            "yes" if r["has_target_evset"] else "no",
+            r["detections"],
+        )
+    table.print()
+    print("Partitioning leaves eviction-set construction intact (the "
+          "attacker contends with itself inside its partition) but removes "
+          "cross-tenant contention — the Prime+Probe signal is gone.  The "
+          "cost on real hardware is capacity isolation, which is why the "
+          "paper notes such designs bring 'high execution overhead'.")
+
+
+if __name__ == "__main__":
+    main()

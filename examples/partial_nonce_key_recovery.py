@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Key recovery from *partial* nonce extractions — the lattice endgame.
+
+The end-to-end attack recovers most (not all) bits of each nonce.  The
+paper's references (Howgrave-Graham & Smart; Nguyen & Shparlinski;
+LadderLeak) turn exactly this into full key recovery: each signing whose
+*leading* nonce bits were decoded contiguously contributes one Hidden
+Number Problem sample, and LLL on the resulting lattice reveals the key.
+
+This example runs the pipeline end to end:
+
+1. the victim signs repeatedly (real ECDSA signatures, public messages);
+2. the attacker monitors the target SF set and decodes each trace;
+3. captures with a clean leading run become HNP samples
+   (`repro.core.keyrec`), and the private key falls out of LLL —
+   verified by forging a signature.
+
+The victim curve is K-163 so the lattice stays small enough for the
+pure-Python LLL; the machine is quiet with the reuse predictor off, the
+regime where leading runs are long (see examples/end_to_end_attack.py
+for the noisy-production extraction rates).
+
+Run:  python examples/partial_nonce_key_recovery.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.config import no_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.extraction import (
+    ExtractionConfig,
+    HeuristicBoundaryClassifier,
+    extract_bits,
+)
+from repro.core.keyrec import SigningCapture, leading_run, recover_key_from_captures
+from repro.core.monitor import ParallelProbing, monitor_set
+from repro.crypto.ecdsa import sign, verify, EcdsaKeyPair
+from repro.memsys.machine import Machine
+from repro.victim import EcdsaVictim, VictimConfig
+
+N_CAPTURES = 12
+MIN_KNOWN = 14
+
+
+def main() -> None:
+    cfg = dataclasses.replace(skylake_sp_small(), reuse_predictor_p=0.0)
+    machine = Machine(cfg, noise=no_noise(), seed=321)
+    victim = EcdsaVictim(
+        machine, core=2, cfg=VictimConfig(curve_name="K-163"), seed=77
+    )
+    ctx = AttackerContext(machine, seed=9)
+    ctx.calibrate()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    evset = next(
+        e for e in bulk.evsets if ctx.true_set_of(e.target_va) == target_set
+    )
+    ecfg = ExtractionConfig(iter_cycles=victim.cfg.iter_cycles)
+    decoder = HeuristicBoundaryClassifier(ecfg)
+
+    captures = []
+    print(f"collecting {N_CAPTURES} signings "
+          f"({victim.curve.name}, {victim.curve.nonce_bits}-bit nonces):")
+    while len(captures) < N_CAPTURES:
+        truth = victim.schedule_signing(machine.now + 30_000, real=True)
+        trace = monitor_set(
+            ParallelProbing(ctx, evset, llc_scrub_period=0),
+            duration_cycles=truth.end - machine.now + 60_000,
+        )
+        bits = extract_bits(trace, decoder.predict_boundaries(trace), ecfg)
+        capture = SigningCapture(
+            message=truth.message,
+            signature=truth.signature,
+            extracted=bits,
+            n_iterations=truth.n_bits,
+        )
+        run = leading_run(capture.extracted, ecfg)
+        print(f"  signing {len(captures)}: {len(bits)}/{truth.n_bits} bits "
+              f"decoded, leading run {len(run)}")
+        captures.append(capture)
+
+    print("\nbuilding HNP samples from leading runs and reducing the "
+          "lattice (pure-Python LLL)...")
+    d = recover_key_from_captures(
+        victim.curve, captures, victim.keypair.public_point, ecfg,
+        min_known=MIN_KNOWN, max_known=MIN_KNOWN + 4, max_samples=N_CAPTURES,
+    )
+    if d is None:
+        print("lattice did not reveal the key (collect more signings)")
+        return
+    print(f"private key recovered and verified: {d == victim.keypair.d}")
+    stolen = EcdsaKeyPair(
+        victim.curve, d, victim.keypair.qx, victim.keypair.qy
+    )
+    forged, _ = sign(stolen, b"transfer everything", random.Random(3))
+    ok = verify(victim.curve, victim.keypair.public_point,
+                b"transfer everything", forged)
+    print(f"forged signature verifies under the victim's public key: {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Result analysis: summary statistics, CDFs, and table rendering.
+
+Every benchmark uses these helpers to print its paper-vs-measured rows in
+a uniform format (see EXPERIMENTS.md for the collected output).
+"""
+
+from .stats import Summary, cdf_points, summarize
+from .reporting import Table, format_seconds, paper_vs_measured
+
+__all__ = [
+    "Summary",
+    "Table",
+    "cdf_points",
+    "format_seconds",
+    "paper_vs_measured",
+    "summarize",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """Aligned-column text table with a title (benchmark output format)."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(row):
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [f"== {self.title} ==", fmt(self.columns), sep]
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: us / ms / s / min."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def paper_vs_measured(paper: str, measured: str) -> str:
+    """Uniform 'paper -> measured' cell used across benchmarks."""
+    return f"paper {paper} | measured {measured}"

@@ -1,0 +1,56 @@
+"""Summary statistics used across the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .._util import mean, median, percentile, stddev
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / stddev / median / percentiles of a sample (paper table format)."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "Summary":
+        """Unit conversion helper (e.g. cycles -> ms)."""
+        return Summary(
+            n=self.n,
+            mean=self.mean * factor,
+            std=self.std * factor,
+            median=self.median * factor,
+            p95=self.p95 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute the Summary of a sample (zeros for an empty sample)."""
+    vals = list(values)
+    if not vals:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        n=len(vals),
+        mean=mean(vals),
+        std=stddev(vals),
+        median=median(vals),
+        p95=percentile(vals, 95.0),
+        minimum=min(vals),
+        maximum=max(vals),
+    )
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    vals = sorted(values)
+    n = len(vals)
+    return [(v, (i + 1) / n) for i, v in enumerate(vals)]

@@ -1,0 +1,194 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro machines                 # list machine presets
+    python -m repro noise                    # list noise presets
+    python -m repro evset --algo bins --env cloud --trials 3
+    python -m repro monitor --duration-us 500 --env cloud
+    python -m repro attack --traces 3
+
+Each subcommand builds a fresh simulated environment, runs the stage, and
+prints a short report.  Seeds default to 0 and make runs reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import Table, format_seconds
+from .config import (
+    MACHINE_PRESETS,
+    NOISE_PRESETS,
+    exposure_matched,
+)
+from .core.context import AttackerContext
+from .core.evset import (
+    EvsetConfig,
+    build_candidate_set,
+    bulk_construct_page_offset,
+    construct_sf_evset,
+)
+from .core.evset.driver import algorithm_names
+from .core.monitor import ParallelProbing, monitor_set
+from .core.pipeline import AttackConfig, run_end_to_end
+from .core.scanner import ScannerConfig, TargetSetClassifier, collect_labeled_traces
+from .memsys.machine import Machine
+from .victim import EcdsaVictim, VictimConfig
+
+
+def _build_env(args):
+    cfg = MACHINE_PRESETS[args.machine]()
+    noise = NOISE_PRESETS[args.env]
+    if args.exposure_matched:
+        noise = exposure_matched(noise, cfg)
+    machine = Machine(cfg, noise=noise, seed=args.seed)
+    ctx = AttackerContext(machine, seed=args.seed + 1)
+    ctx.calibrate()
+    return machine, ctx
+
+
+def cmd_machines(args) -> int:
+    table = Table("Machine presets", ["Name", "Description"])
+    for name, factory in MACHINE_PRESETS.items():
+        table.add_row(name, factory().describe())
+    table.print()
+    return 0
+
+
+def cmd_noise(args) -> int:
+    table = Table(
+        "Noise presets", ["Name", "LLC accesses/ms/set", "SF fraction"]
+    )
+    for name, preset in NOISE_PRESETS.items():
+        table.add_row(
+            name, f"{preset.llc_accesses_per_ms_per_set:g}",
+            f"{preset.sf_fraction:g}",
+        )
+    table.print()
+    return 0
+
+
+def cmd_evset(args) -> int:
+    table = Table(
+        f"SF eviction-set construction ({args.algo}, {args.env})",
+        ["Trial", "Success", "Valid", "Sim time", "TestEvictions"],
+    )
+    successes = 0
+    for trial in range(args.trials):
+        machine, ctx = _build_env(args)
+        cand = build_candidate_set(ctx, args.page_offset)
+        target = cand.vas.pop()
+        outcome = construct_sf_evset(
+            ctx, args.algo, target, cand.vas, EvsetConfig(budget_ms=args.budget_ms)
+        )
+        valid = "-"
+        if outcome.success:
+            sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
+            ok = len(sets) == 1 and ctx.true_set_of(target) in sets
+            successes += ok
+            valid = "yes" if ok else "NO"
+        table.add_row(
+            trial, "yes" if outcome.success else "no", valid,
+            format_seconds(outcome.elapsed_ms(machine.cfg.clock_ghz) / 1e3),
+            outcome.stats.tests,
+        )
+    table.print()
+    print(f"valid: {successes}/{args.trials}")
+    return 0 if successes else 1
+
+
+def cmd_monitor(args) -> int:
+    machine, ctx = _build_env(args)
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", args.page_offset, EvsetConfig(budget_ms=100)
+    )
+    evset = bulk.evsets[0]
+    duration = int(args.duration_us * machine.cfg.clock_ghz * 1e3)
+    trace = monitor_set(ParallelProbing(ctx, evset), duration)
+    print(
+        f"monitored one SF set for {args.duration_us:g} us: "
+        f"{trace.access_count()} background accesses detected "
+        f"({trace.access_count() / (duration / (machine.cfg.clock_ghz * 1e6)):.1f}"
+        " per ms)"
+    )
+    return 0
+
+
+def cmd_attack(args) -> int:
+    machine, ctx = _build_env(args)
+    victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=args.seed + 7)
+    scfg = ScannerConfig()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    victim.run_continuously(machine.now + 1000)
+    traces, labels = collect_labeled_traces(ctx, bulk.evsets, target_set, scfg, 2)
+    classifier = TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
+    report = run_end_to_end(
+        ctx, victim, classifier,
+        AttackConfig(n_traces=args.traces, scan_timeout_s=1.0),
+        evsets=bulk.evsets,
+    )
+    ghz = machine.cfg.clock_ghz
+    print(f"target identified: {report.target_identified}")
+    for i, s in enumerate(report.scores):
+        print(f"  signing {i}: {s.n_recovered}/{s.n_true_bits} bits "
+              f"({s.recovered_fraction:.0%}), BER {s.bit_error_rate:.1%}")
+    print(f"median recovered: {report.median_recovered_fraction:.0%}; "
+          f"attack time {format_seconds(report.total_seconds(ghz))} (sim)")
+    return 0 if report.target_identified else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LLC/SF Prime+Probe attack reproduction (simulated)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--machine", default="skylake-small",
+                       choices=sorted(MACHINE_PRESETS))
+        p.add_argument("--env", default="cloud", choices=sorted(NOISE_PRESETS))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--page-offset", type=lambda s: int(s, 0), default=0x240)
+        p.add_argument(
+            "--exposure-matched", action="store_true",
+            help="scale the noise rate to match full-scale per-test exposure",
+        )
+
+    sub.add_parser("machines", help="list machine presets").set_defaults(
+        fn=cmd_machines
+    )
+    sub.add_parser("noise", help="list noise presets").set_defaults(fn=cmd_noise)
+
+    p = sub.add_parser("evset", help="construct SF eviction sets")
+    common(p)
+    p.add_argument("--algo", default="bins", choices=algorithm_names())
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--budget-ms", type=float, default=1000.0)
+    p.set_defaults(fn=cmd_evset)
+
+    p = sub.add_parser("monitor", help="monitor one SF set for noise")
+    common(p)
+    p.add_argument("--duration-us", type=float, default=500.0)
+    p.set_defaults(fn=cmd_monitor)
+
+    p = sub.add_parser("attack", help="run the end-to-end ECDSA attack")
+    common(p)
+    p.add_argument("--traces", type=int, default=3)
+    p.set_defaults(fn=cmd_attack)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Cloud-environment substrate: tenant noise and a FaaS platform model.
+
+The paper's central obstacle is that the public cloud floods LLC/SF sets
+with other tenants' accesses (11.5 accesses/ms/set on Cloud Run vs. 0.29 on
+a quiescent local machine) while FaaS schedulers bound how long an attacker
+instance can run.  This subpackage models both:
+
+* :mod:`repro.cloud.noise` — Poisson background accesses with lazy per-set
+  reconciliation, driven by a :class:`repro.config.NoiseConfig`.
+* :mod:`repro.cloud.tenant` — synthetic tenant workload profiles whose
+  aggregate access rate yields a NoiseConfig.
+* :mod:`repro.cloud.faas` — hosts, container instances, request timeouts,
+  and CPU-time billing (the constraints of Section 4.2's "Implications").
+"""
+
+from .noise import BackgroundNoise
+from .tenant import TenantProfile, aggregate_noise, STANDARD_TENANT_MIX
+from .faas import ContainerInstance, FaaSPlatform, Host
+
+__all__ = [
+    "BackgroundNoise",
+    "ContainerInstance",
+    "FaaSPlatform",
+    "Host",
+    "STANDARD_TENANT_MIX",
+    "TenantProfile",
+    "aggregate_noise",
+]

@@ -1,0 +1,209 @@
+"""A minimal Function-as-a-Service platform model.
+
+Models the scheduling-level constraints the paper's attack must live with
+(Sections 2.4 and 4.2): containers are placed on multi-tenant hosts, get a
+bounded number of physical cores, are billed by CPU time, and every request
+has a hard timeout (Cloud Run: at most one hour) after which the instance
+may be torn down and attack progress lost.
+
+The co-location step itself (Step 0) is prior work [111]; here
+:meth:`FaaSPlatform.launch` simply places instances on random hosts and the
+caller checks :meth:`FaaSPlatform.co_located` — mirroring the paper's
+assumption that co-location is achieved before Steps 1-3 begin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .._util import make_rng
+from ..config import MachineConfig, NoiseConfig
+from ..errors import ConfigurationError
+
+#: Cloud Run's maximum configurable request timeout (seconds).
+CLOUD_RUN_MAX_TIMEOUT_S = 3600.0
+
+#: Typical FaaS platform timeout (AWS Lambda / Azure Functions, seconds).
+TYPICAL_FAAS_TIMEOUT_S = 900.0
+
+
+class ContainerInstance:
+    """One container instance pinned to physical cores of a host."""
+
+    def __init__(
+        self,
+        name: str,
+        host: "Host",
+        cores: List[int],
+        max_request_seconds: float,
+        lifetime_seconds: float,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.cores = cores
+        self.max_request_seconds = max_request_seconds
+        self.lifetime_seconds = lifetime_seconds
+        self.created_at_cycles = host.machine.now
+        self._request_started_at: Optional[int] = None
+        self.cpu_cycles_billed = 0
+
+    # -- Request lifecycle -------------------------------------------------
+
+    def begin_request(self) -> None:
+        """Start serving a request (starts the timeout clock)."""
+        self._request_started_at = self.host.machine.now
+
+    def request_elapsed_seconds(self) -> float:
+        if self._request_started_at is None:
+            return 0.0
+        return self.host.machine.seconds(
+            self.host.machine.now - self._request_started_at
+        )
+
+    def request_timed_out(self) -> bool:
+        """Whether the current request exceeded the platform timeout."""
+        return self.request_elapsed_seconds() > self.max_request_seconds
+
+    def remaining_request_cycles(self) -> int:
+        """Cycles left before the current request hits its timeout."""
+        if self._request_started_at is None:
+            return self.host.machine.seconds_remaining_to_cycles(
+                self.max_request_seconds
+            )
+        used = self.host.machine.now - self._request_started_at
+        budget = int(self.max_request_seconds * self.host.machine.clock_hz)
+        return max(0, budget - used)
+
+    def end_request(self) -> float:
+        """Finish the request; returns billed CPU seconds."""
+        if self._request_started_at is None:
+            return 0.0
+        used = self.host.machine.now - self._request_started_at
+        self.cpu_cycles_billed += used * len(self.cores)
+        self._request_started_at = None
+        return used * len(self.cores) / self.host.machine.clock_hz
+
+    # -- Instance lifecycle -----------------------------------------------
+
+    def age_seconds(self) -> float:
+        return self.host.machine.seconds(
+            self.host.machine.now - self.created_at_cycles
+        )
+
+    def terminated(self) -> bool:
+        """Whether the orchestrator has recycled this (short-lived) instance."""
+        return self.age_seconds() > self.lifetime_seconds
+
+    def billed_cpu_seconds(self) -> float:
+        return self.cpu_cycles_billed / self.host.machine.clock_hz
+
+
+class Host:
+    """A physical host: one simulated machine shared by tenant containers."""
+
+    def __init__(
+        self,
+        name: str,
+        machine_cfg: MachineConfig,
+        noise_cfg: NoiseConfig,
+        seed: int,
+    ) -> None:
+        # Imported here to avoid a circular import: the machine pulls in the
+        # noise model from this subpackage at module load time.
+        from ..memsys.machine import Machine
+
+        self.name = name
+        self.machine = Machine(machine_cfg, noise=noise_cfg, seed=seed)
+        # Patch a small convenience used by ContainerInstance.
+        self.machine.seconds_remaining_to_cycles = lambda s: int(
+            s * self.machine.clock_hz
+        )
+        self._free_cores = list(range(machine_cfg.cores))
+        self.containers: List[ContainerInstance] = []
+
+    def deploy(
+        self,
+        name: str,
+        cores: int = 2,
+        max_request_seconds: float = CLOUD_RUN_MAX_TIMEOUT_S,
+        lifetime_seconds: float = 1800.0,
+    ) -> ContainerInstance:
+        """Place a container on this host, pinning ``cores`` physical cores.
+
+        The paper's attacker requests 2 physical cores per instance (the
+        main thread plus the helper thread; Section 4.2).
+        """
+        if cores > len(self._free_cores):
+            raise ConfigurationError(
+                f"host {self.name} has only {len(self._free_cores)} free cores"
+            )
+        pinned = [self._free_cores.pop(0) for _ in range(cores)]
+        instance = ContainerInstance(
+            name, self, pinned, max_request_seconds, lifetime_seconds
+        )
+        self.containers.append(instance)
+        return instance
+
+    def release(self, instance: ContainerInstance) -> None:
+        """Tear an instance down and free its cores."""
+        if instance in self.containers:
+            self.containers.remove(instance)
+            self._free_cores.extend(instance.cores)
+
+    def free_cores(self) -> int:
+        return len(self._free_cores)
+
+
+class FaaSPlatform:
+    """A pool of hosts with random placement (co-location by luck or [111])."""
+
+    def __init__(
+        self,
+        machine_cfg: MachineConfig,
+        noise_cfg: NoiseConfig,
+        n_hosts: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if n_hosts < 1:
+            raise ConfigurationError("need at least one host")
+        self._rng = make_rng(("faas", seed))
+        self.hosts = [
+            Host(f"host-{i}", machine_cfg, noise_cfg, seed=seed * 1000 + i)
+            for i in range(n_hosts)
+        ]
+        self._services: Dict[str, List[ContainerInstance]] = {}
+
+    def launch(
+        self,
+        service: str,
+        instances: int = 1,
+        cores: int = 2,
+        max_request_seconds: float = CLOUD_RUN_MAX_TIMEOUT_S,
+    ) -> List[ContainerInstance]:
+        """Launch instances of ``service`` on random hosts with capacity."""
+        placed: List[ContainerInstance] = []
+        for i in range(instances):
+            candidates = [h for h in self.hosts if h.free_cores() >= cores]
+            if not candidates:
+                break
+            host = self._rng.choice(candidates)
+            placed.append(
+                host.deploy(f"{service}-{i}", cores, max_request_seconds)
+            )
+        self._services.setdefault(service, []).extend(placed)
+        return placed
+
+    def instances(self, service: str) -> List[ContainerInstance]:
+        return list(self._services.get(service, []))
+
+    def co_located(
+        self, service_a: str, service_b: str
+    ) -> List[Tuple[ContainerInstance, ContainerInstance]]:
+        """Pairs of instances of the two services sharing a host."""
+        pairs = []
+        for a in self._services.get(service_a, []):
+            for b in self._services.get(service_b, []):
+                if a.host is b.host:
+                    pairs.append((a, b))
+        return pairs

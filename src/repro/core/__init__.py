@@ -1,0 +1,70 @@
+"""The paper's contribution: the end-to-end LLC/SF Prime+Probe attack.
+
+Layout (one module per attack stage, Table 1 of the paper):
+
+* :mod:`repro.core.context` — the attacker's runtime (address space, two
+  cores, timing thresholds).
+* :mod:`repro.core.evset` — Step 1: eviction-set construction.  The
+  existing algorithms (group testing, Prime+Scope) plus the paper's
+  contributions: L2-driven candidate filtering and the binary-search
+  pruning algorithm, and bulk construction for the SingleSet / PageOffset
+  / WholeSys scenarios.
+* :mod:`repro.core.monitor` — Steps 2-3 substrate: Prime+Probe monitoring
+  strategies (PS-Flush, PS-Alt, and the paper's Parallel Probing).
+* :mod:`repro.core.traces` — access-trace data structures.
+* :mod:`repro.core.scanner` — Step 2: PSD-based target-set identification.
+* :mod:`repro.core.extraction` — Step 3: nonce-bit extraction.
+* :mod:`repro.core.pipeline` — the full Steps 1-3 attack.
+"""
+
+from .context import AttackerContext
+from .traces import AccessTrace
+from .monitor import (
+    LatencySummary,
+    MonitorStrategy,
+    ParallelProbing,
+    PrimeScopeAlt,
+    PrimeScopeFlush,
+    make_monitor,
+    monitor_set,
+)
+from .scanner import Scanner, ScannerConfig, ScanResult, TargetSetClassifier
+from .extraction import (
+    ExtractionConfig,
+    ExtractionScore,
+    ForestBoundaryClassifier,
+    HeuristicBoundaryClassifier,
+    extract_bits,
+    score_extraction,
+)
+from .pipeline import AttackConfig, AttackReport, run_end_to_end, segment_trace
+from .keyrec import SigningCapture, leading_run, recover_key_from_captures
+
+__all__ = [
+    "AccessTrace",
+    "AttackConfig",
+    "AttackReport",
+    "AttackerContext",
+    "ExtractionConfig",
+    "ExtractionScore",
+    "ForestBoundaryClassifier",
+    "HeuristicBoundaryClassifier",
+    "LatencySummary",
+    "MonitorStrategy",
+    "ParallelProbing",
+    "PrimeScopeAlt",
+    "PrimeScopeFlush",
+    "Scanner",
+    "SigningCapture",
+    "leading_run",
+    "recover_key_from_captures",
+    "ScannerConfig",
+    "ScanResult",
+    "TargetSetClassifier",
+    "extract_bits",
+    "make_monitor",
+    "monitor_set",
+    "run_end_to_end",
+    "score_extraction",
+    "segment_trace",
+]

@@ -1,0 +1,210 @@
+"""The attacker's runtime context.
+
+Bundles everything the attack code needs: the attacker container's address
+space on the shared machine, its two pinned cores (main + helper thread, as
+deployed in Section 4.2), VA->line translation memoization, latency
+thresholds calibrated from timed loads, and the traversal primitives
+(parallel / pointer-chase, private / shared / store) that every higher
+level builds on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .._util import make_rng, median, spawn_rng
+from ..config import LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
+from ..errors import ConfigurationError
+from ..memsys.hierarchy import Level
+from ..memsys.machine import Machine
+
+
+class AttackerContext:
+    """Attacker-side view of a simulated machine.
+
+    Args:
+        machine: The shared host.
+        main_core / helper_core: The attacker's two pinned cores.  The
+            helper thread shadows the main thread's accesses to turn lines
+            shared (S state -> LLC resident), as in the paper.
+        seed: Seed for attacker-local randomness (address shuffling).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        main_core: int = 0,
+        helper_core: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if main_core == helper_core:
+            raise ConfigurationError("main and helper must be different cores")
+        for core in (main_core, helper_core):
+            if not 0 <= core < machine.cfg.cores:
+                raise ConfigurationError(f"core {core} out of range")
+        self.machine = machine
+        self.main_core = main_core
+        self.helper_core = helper_core
+        self.rng = make_rng(("attacker", seed))
+        self.aspace = machine.new_address_space(va_base=0x20_0000_0000)
+        self._lines: Dict[int, int] = {}
+        self._pool: List[int] = []  # unused mapped pages
+        # Thresholds start from the architectural defaults; calibrate()
+        # replaces them with measured values.
+        self.threshold_private = machine.hit_threshold_private()
+        self.threshold_llc = machine.hit_threshold_llc()
+
+    # -- Memory management -----------------------------------------------------
+
+    def alloc_pages(self, count: int) -> List[int]:
+        """Map ``count`` pages (drawing from a pre-mapped pool if available)."""
+        take = min(count, len(self._pool))
+        pages = self._pool[:take]
+        del self._pool[:take]
+        if count > take:
+            pages.extend(self.aspace.alloc_pages(count - take))
+        return pages
+
+    def release_pages(self, pages: Sequence[int]) -> None:
+        """Return pages to the pool for reuse by later candidate sets."""
+        self._pool.extend(pages)
+
+    def line(self, va: int) -> int:
+        """Physical line address of ``va`` (memoized translation)."""
+        lines = self._lines
+        pline = lines.get(va)
+        if pline is None:
+            pline = self.aspace.translate_line(va)
+            lines[va] = pline
+        return pline
+
+    def lines(self, vas: Sequence[int]) -> List[int]:
+        return [self.line(va) for va in vas]
+
+    # -- Ground-truth inspection (experiment harness only, not attack logic) ----
+
+    def true_set_of(self, va: int) -> int:
+        """Ground-truth shared (LLC/SF) set index of an attacker VA."""
+        return self.machine.hierarchy.shared_set_index(self.line(va))
+
+    def true_l2_set_of(self, va: int) -> int:
+        return self.machine.hierarchy.l2_index(self.line(va))
+
+    # -- Single-line operations ---------------------------------------------------
+
+    def load(self, va: int) -> None:
+        """Plain load on the main core."""
+        self.machine.access(self.main_core, self.line(va))
+
+    def store(self, va: int) -> None:
+        """Store (RFO) on the main core: forces the line exclusive."""
+        self.machine.access(self.main_core, self.line(va), write=True)
+
+    def load_shared(self, va: int) -> None:
+        """Make a line shared: main-core load shadowed by the helper thread.
+
+        The helper's access runs concurrently and does not advance the clock.
+        """
+        line = self.line(va)
+        self.machine.access(self.main_core, line)
+        self.machine.access(self.helper_core, line, advance=False)
+
+    def flush(self, va: int) -> None:
+        self.machine.flush(self.line(va))
+
+    def flush_batch(self, vas: Sequence[int], n: Optional[int] = None) -> int:
+        """Pipelined clflush of the first ``n`` addresses; returns cycles."""
+        chosen = vas if n is None else vas[:n]
+        return self.machine.flush_batch([self.line(va) for va in chosen])
+
+    def timed_load(self, va: int) -> int:
+        """Timed load on the main core; returns measured cycles."""
+        return self.machine.timed_access(self.main_core, self.line(va))
+
+    # -- Traversals ----------------------------------------------------------------
+
+    def traverse_parallel(
+        self, vas: Sequence[int], n: Optional[int] = None, shared: bool = False,
+        write: bool = False, same_set: bool = False,
+    ) -> int:
+        """Overlapped traversal of the first ``n`` addresses.
+
+        ``shared=True`` interleaves a helper-core shadow access per line (the
+        helper runs concurrently; only main-core progress advances time).
+        ``same_set=True`` asserts all addresses are congruent (an eviction
+        set) so background noise is reconciled once per batch.
+        Returns elapsed cycles.
+        """
+        lines = [self.line(va) for va in (vas if n is None else vas[:n])]
+        if not shared:
+            return self.machine.access_parallel(
+                self.main_core, lines, write=write, same_shared_set=same_set
+            )
+        machine = self.machine
+        hier = machine.hierarchy
+        lat = machine.cfg.latency
+        machine._drain_events()
+        now = machine.now
+        worst = 0
+        gaps = 0
+        for line in lines:
+            level = hier.access(self.main_core, line, now)
+            hier.access(self.helper_core, line, now)
+            lt = machine._level_latency[level]
+            if lt > worst:
+                worst = lt
+            gaps += lat.hit_issue_gap if level <= Level.L2 else lat.issue_gap
+        elapsed = worst + gaps
+        elapsed += machine._preemption_penalty(elapsed)
+        machine.advance(elapsed)
+        return elapsed
+
+    def traverse_chase(
+        self, vas: Sequence[int], n: Optional[int] = None, shared: bool = False,
+        write: bool = False,
+    ) -> int:
+        """Serialized pointer-chase traversal of the first ``n`` addresses."""
+        chosen = vas if n is None else vas[:n]
+        if not shared:
+            return self.machine.access_chase(
+                self.main_core, [self.line(v) for v in chosen], write=write
+            )
+        total = 0
+        for va in chosen:
+            line = self.line(va)
+            _, latency = self.machine.access(self.main_core, line)
+            self.machine.access(self.helper_core, line, advance=False)
+            total += latency + self.machine.cfg.latency.chase_overhead
+        return total
+
+    # -- Threshold calibration --------------------------------------------------------
+
+    def calibrate(self, samples: int = 30) -> None:
+        """Measure hit/LLC/DRAM latencies and derive decision thresholds.
+
+        Mirrors what a real attacker does on an unknown host: time loads in
+        states it can force (fresh DRAM fetch, repeat private hit, and a
+        cross-core transfer through the SF, whose latency matches an LLC
+        hit) and place thresholds at the midpoints.
+        """
+        page = self.alloc_pages(1)[0]
+        va = page
+        t_dram, t_hit, t_llc = [], [], []
+        for _ in range(samples):
+            self.flush(va)
+            t_dram.append(self.timed_load(va))
+            t_hit.append(self.timed_load(va))
+            self.flush(va)
+            self.machine.access(self.helper_core, self.line(va))
+            t_llc.append(self.timed_load(va))
+        self.release_pages([page])
+        dram = median(t_dram)
+        hit = median(t_hit)
+        llc = median(t_llc)
+        if not hit < llc < dram:
+            raise ConfigurationError(
+                f"calibration failed: hit={hit}, llc={llc}, dram={dram}"
+            )
+        self.threshold_private = int((hit + llc) / 2)
+        self.threshold_llc = int((llc + dram) / 2)

@@ -1,0 +1,61 @@
+"""Eviction-set construction (Step 1 of the attack).
+
+Implements the full algorithm zoo of Sections 2, 4, 5 and Appendix A:
+
+* :mod:`candidates` — candidate-set construction (one page per candidate at
+  the target page offset; N = 3*U*W as measured in Section 4.2).
+* :mod:`primitives` — the ``TestEviction`` primitive in its sequential and
+  parallel (MLP-exploiting) forms, for the LLC (shared lines), SF (private
+  lines), and L2 targets.
+* :mod:`group_testing` — Vila-style group testing: GT (early termination),
+  GTOp (the paper's no-early-termination optimization), and the Song
+  random-withholding variant.
+* :mod:`prime_scope` — Prime+Scope sequential scanning, PS and the PsOp
+  front-recharging optimization.
+* :mod:`binary_search` — the paper's binary-search pruning (Figure 4) with
+  its stride backtracking.
+* :mod:`filtering` — L2-driven candidate address filtering (Section 5.1).
+* :mod:`driver` — the attempt/budget/verification loop shared by all
+  algorithms, and the two-phase LLC->SF construction of Section 4.2.
+* :mod:`bulk` — SingleSet / PageOffset / WholeSys bulk construction with
+  filtered-group reuse and the page-offset-delta optimization (5.3.1).
+"""
+
+from .types import (
+    AlgorithmStats,
+    BuildOutcome,
+    CandidateSet,
+    EvictionSet,
+    EvsetConfig,
+)
+from .candidates import build_candidate_set, candidate_set_size
+from .primitives import EvictionTester
+from .group_testing import GroupTesting
+from .prime_scope import PrimeScope
+from .binary_search import BinarySearchPruning
+from .filtering import build_l2_eviction_set, filter_candidates, shift_candidates
+from .driver import construct_l2_evset, construct_sf_evset, make_algorithm
+from .bulk import BulkResult, bulk_construct_page_offset, bulk_construct_whole_sys
+
+__all__ = [
+    "AlgorithmStats",
+    "BinarySearchPruning",
+    "BuildOutcome",
+    "BulkResult",
+    "CandidateSet",
+    "EvictionSet",
+    "EvictionTester",
+    "EvsetConfig",
+    "GroupTesting",
+    "PrimeScope",
+    "build_candidate_set",
+    "build_l2_eviction_set",
+    "bulk_construct_page_offset",
+    "bulk_construct_whole_sys",
+    "candidate_set_size",
+    "construct_l2_evset",
+    "construct_sf_evset",
+    "filter_candidates",
+    "make_algorithm",
+    "shift_candidates",
+]

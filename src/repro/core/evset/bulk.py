@@ -1,0 +1,214 @@
+"""Bulk eviction-set construction: PageOffset and WholeSys (Sections 2.2.3, 5.3).
+
+The attacker rarely knows the target LLC/SF set, so Step 1 builds eviction
+sets for *every* set at a page offset (PageOffset, U_LLC sets) or in the
+whole system (WholeSys, 64x more).  The procedure per page offset:
+
+1. Build one candidate set (N = 3*U*W addresses, one page each).
+2. Partition it into U_L2 filtered groups: repeatedly build an L2 eviction
+   set for an unclaimed candidate and filter the remainder with it
+   (Section 5.1).  Each group holds the candidates of one L2 set.
+3. Within each group, repeatedly pick an unclaimed target, skip it if an
+   already-built eviction set covers it, otherwise prune a new minimal SF
+   eviction set from the group (Section 2.2.3's dedup loop).
+
+WholeSys reuses the filtered groups of the base offset by shifting every
+address by the page-offset delta (Section 5.3.1), so only U_L2 filtering
+executions are needed for the entire system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...config import LINE_BYTES
+from ...errors import BudgetExceededError, EvictionSetError
+from ..context import AttackerContext
+from .candidates import build_candidate_set, candidate_set_size
+from .driver import construct_sf_evset, make_algorithm
+from .filtering import build_l2_eviction_set, filter_candidates, shift_candidates
+from .primitives import EvictionTester
+from .types import BuildOutcome, EvictionSet, EvsetConfig
+
+
+@dataclass
+class BulkResult:
+    """Outcome of a bulk construction run."""
+
+    scenario: str
+    page_offsets: List[int]
+    evsets: List[EvictionSet] = field(default_factory=list)
+    n_targets_attempted: int = 0
+    n_failures: int = 0
+    elapsed_cycles: int = 0
+    filtering_cycles: int = 0
+    timed_out: bool = False
+
+    def elapsed_seconds(self, clock_ghz: float) -> float:
+        return self.elapsed_cycles / (clock_ghz * 1e9)
+
+    # -- Ground-truth validation (harness-side; uses simulator knowledge) ----
+
+    def coverage(self, ctx: AttackerContext) -> Tuple[int, int]:
+        """(valid eviction sets, distinct true cache sets covered)."""
+        valid = 0
+        covered = set()
+        for evset in self.evsets:
+            sets = {ctx.true_set_of(va) for va in evset.vas}
+            if len(sets) == 1:
+                valid += 1
+                covered.add(next(iter(sets)))
+        return valid, len(covered)
+
+    def success_rate(self, ctx: AttackerContext) -> float:
+        """Distinct correctly-covered sets / expected sets for the scenario."""
+        expected = ctx.machine.cfg.u_llc * len(self.page_offsets)
+        _, covered = self.coverage(ctx)
+        return covered / expected if expected else 0.0
+
+
+def _build_filtered_groups(
+    ctx: AttackerContext,
+    candidate_vas: List[int],
+    cfg: EvsetConfig,
+) -> Tuple[List[Tuple[EvictionSet, List[int]]], int]:
+    """Partition candidates into per-L2-set filtered groups.
+
+    Returns (groups, cycles spent filtering).  Each group is
+    (l2_eviction_set, member_vas).
+    """
+    machine = ctx.machine
+    start = machine.now
+    u_l2 = machine.cfg.u_l2
+    remaining = list(candidate_vas)
+    groups: List[Tuple[EvictionSet, List[int]]] = []
+    min_group = machine.cfg.sf.ways + 1
+    while remaining and len(groups) < 2 * u_l2:
+        target = remaining[0]
+        try:
+            l2_evset = build_l2_eviction_set(
+                ctx, target, EvsetConfig(budget_ms=cfg.budget_ms), candidates=remaining[1:]
+            )
+        except EvictionSetError:
+            remaining.pop(0)
+            continue
+        group = filter_candidates(ctx, l2_evset, remaining)
+        if len(group) >= min_group:
+            groups.append((l2_evset, group))
+        member_set = set(group)
+        member_set.add(target)
+        remaining = [va for va in remaining if va not in member_set]
+    return groups, machine.now - start
+
+
+def _construct_from_group(
+    ctx: AttackerContext,
+    algorithm,
+    group: List[int],
+    cfg: EvsetConfig,
+    result: BulkResult,
+    overall_deadline: Optional[int],
+) -> None:
+    """The Section 2.2.3 loop over one filtered group (in-place on result)."""
+    machine = ctx.machine
+    w = machine.cfg.sf.ways
+    pool = list(group)
+    built_here: List[EvictionSet] = []
+    sf_tester = EvictionTester(ctx, mode="sf", parallel=True)
+    while len(pool) > w:
+        if overall_deadline is not None and machine.now > overall_deadline:
+            result.timed_out = True
+            return
+        target = pool.pop(0)
+        # Dedup: skip targets an existing set already covers (step 4).
+        covered = False
+        for evset in built_here:
+            if sf_tester.test(target, evset.vas) and sf_tester.test(
+                target, evset.vas
+            ):
+                covered = True
+                break
+        if covered:
+            continue
+        result.n_targets_attempted += 1
+        per_set_deadline = machine.now + cfg.budget_cycles(machine.cfg.clock_ghz)
+        if overall_deadline is not None:
+            per_set_deadline = min(per_set_deadline, overall_deadline)
+        outcome = construct_sf_evset(
+            ctx, algorithm, target, pool, cfg, deadline=per_set_deadline
+        )
+        if outcome.success:
+            evset = outcome.evset
+            built_here.append(evset)
+            result.evsets.append(evset)
+            members = set(evset.vas)
+            pool = [va for va in pool if va not in members]
+        else:
+            result.n_failures += 1
+
+
+def bulk_construct_page_offset(
+    ctx: AttackerContext,
+    algorithm,
+    page_offset: int,
+    cfg: EvsetConfig = EvsetConfig(budget_ms=100.0),
+    deadline: Optional[int] = None,
+    candidate_vas: Optional[List[int]] = None,
+) -> BulkResult:
+    """Build eviction sets for every SF set at one page offset."""
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm)
+    machine = ctx.machine
+    start = machine.now
+    result = BulkResult(scenario="page-offset", page_offsets=[page_offset])
+    if candidate_vas is None:
+        candidate_vas = build_candidate_set(ctx, page_offset).vas
+    groups, filtering_cycles = _build_filtered_groups(ctx, candidate_vas, cfg)
+    result.filtering_cycles = filtering_cycles
+    for _, group in groups:
+        _construct_from_group(ctx, algorithm, group, cfg, result, deadline)
+        if result.timed_out:
+            break
+    result.elapsed_cycles = machine.now - start
+    return result
+
+
+def bulk_construct_whole_sys(
+    ctx: AttackerContext,
+    algorithm,
+    cfg: EvsetConfig = EvsetConfig(budget_ms=100.0),
+    deadline: Optional[int] = None,
+    offsets: Optional[Sequence[int]] = None,
+    base_offset: int = 0,
+) -> BulkResult:
+    """Build eviction sets for all SF sets in the system.
+
+    ``offsets`` may restrict the line offsets covered (scaled-down runs);
+    default is all 64.  Filtering runs once, at ``base_offset``; every other
+    offset reuses the shifted filtered groups (Section 5.3.1).
+    """
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm)
+    machine = ctx.machine
+    page_bytes = machine.cfg.page_bytes
+    if offsets is None:
+        offsets = [i * LINE_BYTES for i in range(page_bytes // LINE_BYTES)]
+    offsets = list(offsets)
+    if base_offset not in offsets:
+        offsets.insert(0, base_offset)
+    start = machine.now
+    result = BulkResult(scenario="whole-sys", page_offsets=offsets)
+    candidate_vas = build_candidate_set(ctx, base_offset).vas
+    base_groups, filtering_cycles = _build_filtered_groups(ctx, candidate_vas, cfg)
+    result.filtering_cycles = filtering_cycles
+    for offset in offsets:
+        delta = offset - base_offset
+        for _, group in base_groups:
+            shifted = group if delta == 0 else shift_candidates(group, delta, page_bytes)
+            _construct_from_group(ctx, algorithm, shifted, cfg, result, deadline)
+            if result.timed_out:
+                result.elapsed_cycles = machine.now - start
+                return result
+    result.elapsed_cycles = machine.now - start
+    return result

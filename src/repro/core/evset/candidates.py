@@ -1,0 +1,53 @@
+"""Candidate-set construction (Section 2.2.1, step 1).
+
+A candidate for a target cache set at page offset ``o`` is any address with
+page offset ``o`` — the attacker controls nothing else.  Each candidate
+lives on its own physical page (distinct frame), so candidates are i.i.d.
+uniform over the U possible cache sets at that offset.  Empirically the
+paper finds N = 3*U*W candidates suffice for Skylake-SP's LLC/SF.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ConfigurationError
+from ..context import AttackerContext
+from .types import CandidateSet
+
+
+def candidate_set_size(machine_cfg, target: str = "sf", scale: float = 3.0) -> int:
+    """N = ceil(scale * U * W) for the given target structure."""
+    if target in ("sf", "llc"):
+        u = machine_cfg.u_llc
+        w = machine_cfg.sf.ways if target == "sf" else machine_cfg.llc.ways
+    elif target == "l2":
+        u = machine_cfg.u_l2
+        w = machine_cfg.l2.ways
+    else:
+        raise ConfigurationError(f"unknown target structure {target!r}")
+    return int(math.ceil(scale * u * w))
+
+
+def build_candidate_set(
+    ctx: AttackerContext,
+    page_offset: int,
+    size: int = None,
+    target: str = "sf",
+    scale: float = 3.0,
+) -> CandidateSet:
+    """Allocate a candidate set for cache sets at ``page_offset``.
+
+    Candidates are shuffled so list position carries no information about
+    physical placement.
+    """
+    if size is None:
+        size = candidate_set_size(ctx.machine.cfg, target=target, scale=scale)
+    if not 0 <= page_offset < ctx.machine.cfg.page_bytes:
+        raise ConfigurationError("page offset out of range")
+    if page_offset % 64:
+        raise ConfigurationError("page offset must be line-aligned")
+    pages = ctx.alloc_pages(size)
+    vas = [p + page_offset for p in pages]
+    ctx.rng.shuffle(vas)
+    return CandidateSet(page_offset=page_offset, vas=vas)

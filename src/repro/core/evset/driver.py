@@ -1,0 +1,195 @@
+"""Construction driver: attempts, budgets, verification, SF extension.
+
+Implements the experimental protocol of Section 4.2 — up to
+``max_attempts`` construction attempts within a per-set time budget — and
+the two-phase SF construction used by all algorithms: first build a minimal
+*LLC* eviction set out of shared lines, then extend it with one more
+congruent address tested through the *SF* (private lines), since the SF has
+one more way than the LLC on Skylake-SP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...errors import BudgetExceededError, EvictionSetError
+from ..context import AttackerContext
+from .binary_search import BinarySearchPruning
+from .group_testing import GroupTesting
+from .ppp import PrimePruneProbe
+from .prime_scope import PrimeScope
+from .primitives import EvictionTester
+from .types import AlgorithmStats, BuildOutcome, EvictionSet, EvsetConfig
+
+#: Registry of pruning algorithms by their paper names.
+_ALGORITHMS = {
+    "gt": lambda: GroupTesting(early_termination=True),
+    "gtop": lambda: GroupTesting(early_termination=False),
+    "gt-song": lambda: GroupTesting(random_withhold=True),
+    "ps": lambda: PrimeScope(recharging=False),
+    "psop": lambda: PrimeScope(recharging=True),
+    "bins": lambda: BinarySearchPruning(),
+    "ppp": lambda: PrimePruneProbe(),
+}
+
+
+def algorithm_names() -> List[str]:
+    return sorted(_ALGORITHMS)
+
+
+def make_algorithm(name: str):
+    """Instantiate a pruning algorithm by name (gt, gtop, gt-song, ps, psop, bins)."""
+    try:
+        return _ALGORITHMS[name]()
+    except KeyError:
+        raise EvictionSetError(
+            f"unknown algorithm {name!r}; choose from {algorithm_names()}"
+        ) from None
+
+
+def _find_sf_extension(
+    ctx: AttackerContext,
+    llc_vas: Sequence[int],
+    target_va: int,
+    pool: Sequence[int],
+    deadline: int,
+    stats: AlgorithmStats,
+) -> int:
+    """Find one more congruent address to grow an LLC set into an SF set.
+
+    Tests each pool address through the SF: the 11 LLC-set members plus a
+    congruent 12th fill the 12-way SF set and push out the target.
+    """
+    tester = EvictionTester(ctx, mode="sf", parallel=True)
+    base = list(llc_vas)
+    for va in pool:
+        if ctx.machine.now > deadline:
+            raise BudgetExceededError("SF extension ran out of budget")
+        stats.tests += 1
+        if tester.test(target_va, base + [va]):
+            # Guard against a noise-induced false positive with a retest.
+            stats.tests += 1
+            if tester.test(target_va, base + [va]):
+                return va
+    raise EvictionSetError("no SF extension address found in the pool")
+
+
+def construct_sf_evset(
+    ctx: AttackerContext,
+    algorithm,
+    target_va: int,
+    candidate_vas: Sequence[int],
+    cfg: EvsetConfig = EvsetConfig(),
+    deadline: Optional[int] = None,
+) -> BuildOutcome:
+    """Construct one SF eviction set for ``target_va``.
+
+    ``algorithm`` is a pruner instance (see :func:`make_algorithm`) or name.
+    Returns a :class:`BuildOutcome`; never raises for ordinary failure.
+    """
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm)
+    machine = ctx.machine
+    start = machine.now
+    if deadline is None:
+        deadline = start + cfg.budget_cycles(machine.cfg.clock_ghz)
+    stats = AlgorithmStats()
+    pool = [va for va in candidate_vas if va != target_va]
+    reason = "exhausted attempts"
+    for attempt in range(cfg.max_attempts):
+        stats.attempts = attempt + 1
+        if machine.now > deadline:
+            reason = "budget exceeded"
+            break
+        tester = EvictionTester(
+            ctx, mode="llc", parallel=algorithm.wants_parallel,
+            repeats=cfg.traversal_repeats,
+        )
+        try:
+            llc_vas = algorithm.prune(tester, target_va, pool, cfg, deadline, stats)
+            members = set(llc_vas)
+            # Shuffle the extension pool: pruning consumes the congruent
+            # addresses from a position-biased region of the list (e.g.
+            # binary search takes exactly those before the last tipping
+            # point), which would leave a long congruent-free prefix.
+            ext_pool = [va for va in pool if va not in members]
+            ctx.rng.shuffle(ext_pool)
+            extra = _find_sf_extension(
+                ctx, llc_vas, target_va, ext_pool, deadline, stats,
+            )
+        except BudgetExceededError:
+            reason = "budget exceeded"
+            break
+        except EvictionSetError as exc:
+            reason = str(exc)
+            ctx.rng.shuffle(pool)
+            continue
+        finally:
+            stats.traversed_addresses += tester.traversed_addresses
+        evset_vas = list(llc_vas) + [extra]
+        sf_tester = EvictionTester(ctx, mode="sf", parallel=True)
+        stats.tests += 3
+        if sf_tester.is_eviction_set(target_va, evset_vas, votes=3):
+            return BuildOutcome(
+                success=True,
+                evset=EvictionSet(kind="sf", vas=evset_vas, target_va=target_va),
+                elapsed_cycles=machine.now - start,
+                stats=stats,
+            )
+        reason = "final SF verification failed"
+        ctx.rng.shuffle(pool)
+    return BuildOutcome(
+        success=False,
+        evset=None,
+        elapsed_cycles=machine.now - start,
+        stats=stats,
+        failure_reason=reason,
+    )
+
+
+def construct_l2_evset(
+    ctx: AttackerContext,
+    algorithm,
+    target_va: int,
+    candidate_vas: Sequence[int],
+    cfg: EvsetConfig = EvsetConfig(budget_ms=100.0),
+) -> BuildOutcome:
+    """Construct one L2 eviction set (used by Section 5.3.2's comparison)."""
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm)
+    machine = ctx.machine
+    start = machine.now
+    deadline = start + cfg.budget_cycles(machine.cfg.clock_ghz)
+    stats = AlgorithmStats()
+    pool = [va for va in candidate_vas if va != target_va]
+    reason = "exhausted attempts"
+    for attempt in range(cfg.max_attempts):
+        stats.attempts = attempt + 1
+        if machine.now > deadline:
+            reason = "budget exceeded"
+            break
+        tester = EvictionTester(
+            ctx, mode="l2", parallel=algorithm.wants_parallel,
+            repeats=cfg.traversal_repeats,
+        )
+        try:
+            vas = algorithm.prune(tester, target_va, pool, cfg, deadline, stats)
+        except BudgetExceededError:
+            reason = "budget exceeded"
+            break
+        except EvictionSetError as exc:
+            reason = str(exc)
+            ctx.rng.shuffle(pool)
+            continue
+        finally:
+            stats.traversed_addresses += tester.traversed_addresses
+        return BuildOutcome(
+            success=True,
+            evset=EvictionSet(kind="l2", vas=vas, target_va=target_va),
+            elapsed_cycles=machine.now - start,
+            stats=stats,
+        )
+    return BuildOutcome(
+        success=False, evset=None, elapsed_cycles=machine.now - start,
+        stats=stats, failure_reason=reason,
+    )

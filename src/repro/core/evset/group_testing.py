@@ -1,0 +1,132 @@
+"""Group-testing address pruning (Algorithm 1; Vila et al. + Appendix A).
+
+Three variants, selected by constructor flags:
+
+* **GT** (baseline): split the working set into G = W + 1 groups; withhold
+  groups one at a time; as soon as one group proves removable, discard it
+  and *re-partition* (early termination).
+* **GTOp** (the paper's optimization): within a round, keep testing the
+  remaining groups after a removal instead of re-partitioning — pruning
+  larger chunks per round gives better performance and success rate on
+  Skylake-SP (Appendix A).
+* **Song variant**: withhold a random len/W-sized sample each step.
+
+All variants share the backtracking mechanism: when no group is removable
+(usually because an earlier noise-induced false positive discarded
+congruent addresses), the most recently discarded group is restored.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..._util import chunked
+from ...errors import BudgetExceededError, EvictionSetError
+from .primitives import EvictionTester
+from .types import AlgorithmStats, EvsetConfig
+
+
+class GroupTesting:
+    """Group-testing pruner.
+
+    Args:
+        early_termination: True for baseline GT, False for GTOp.
+        random_withhold: True for the Song et al. random variant (implies
+            no fixed group structure).
+    """
+
+    def __init__(
+        self, early_termination: bool = True, random_withhold: bool = False
+    ) -> None:
+        self.early_termination = early_termination
+        self.random_withhold = random_withhold
+        if random_withhold:
+            self.name = "gt-song"
+        else:
+            self.name = "gt" if early_termination else "gtop"
+        #: Group testing benefits from the parallel TestEviction (Section 4.1).
+        self.wants_parallel = True
+
+    def prune(
+        self,
+        tester: EvictionTester,
+        target_va: int,
+        candidates: List[int],
+        cfg: EvsetConfig,
+        deadline: int,
+        stats: AlgorithmStats,
+    ) -> List[int]:
+        """Reduce ``candidates`` to a believed-minimal eviction set."""
+        work = list(candidates)
+        w = tester.ways
+        if len(work) < w:
+            raise EvictionSetError("candidate set smaller than associativity")
+        discard_stack: List[List[int]] = []
+        backtracks = 0
+        machine = tester.ctx.machine
+        rng = tester.ctx.rng
+        n_groups = cfg.groups or (w + 1)
+
+        while len(work) > w:
+            if machine.now > deadline:
+                raise BudgetExceededError("group testing ran out of budget")
+            removed_any = False
+            if self.random_withhold:
+                # A "round" gives the random variant as many draws as group
+                # testing gets groups; a single unlucky (congruent-heavy)
+                # sample should trigger a redraw, not a backtrack.
+                for _ in range(n_groups):
+                    k = max(1, len(work) // w)
+                    withheld_idx = set(rng.sample(range(len(work)), k))
+                    withheld = [work[i] for i in withheld_idx]
+                    rest = [a for i, a in enumerate(work) if i not in withheld_idx]
+                    stats.tests += 1
+                    if tester.test(target_va, rest):
+                        work = rest
+                        discard_stack.append(withheld)
+                        removed_any = True
+                        break
+            else:
+                groups = chunked(work, min(n_groups, len(work)))
+                for gi in range(len(groups)):
+                    if machine.now > deadline:
+                        raise BudgetExceededError("group testing ran out of budget")
+                    group = groups[gi]
+                    if not group:
+                        continue
+                    rest = [a for gj, g in enumerate(groups) if gj != gi for a in g]
+                    stats.tests += 1
+                    if tester.test(target_va, rest):
+                        groups[gi] = []
+                        discard_stack.append(group)
+                        removed_any = True
+                        if self.early_termination:
+                            break
+                work = [a for g in groups for a in g]
+            if not removed_any:
+                # Every withholding failed: either we are already minimal-ish
+                # or noise previously made us discard congruent addresses.
+                if len(work) <= w:
+                    break
+                if not discard_stack:
+                    raise EvictionSetError("group testing stuck with no history")
+                backtracks += 1
+                stats.backtracks += 1
+                if backtracks > cfg.max_backtracks:
+                    raise EvictionSetError("group testing exceeded backtrack limit")
+                work.extend(discard_stack.pop())
+                # Reshuffle so the retry sees different group boundaries —
+                # without this, a deterministic replacement-state corner
+                # (e.g. the target gone LLC-stale under its L1 copy) makes
+                # the exact same erroneous discard repeat forever.
+                rng.shuffle(work)
+
+        if len(work) != w:
+            # Over-pruned (noise) or could not reduce further.
+            raise EvictionSetError(
+                f"group testing finished with {len(work)} != {w} addresses"
+            )
+        stats.tests += 1
+        if not tester.test(target_va, work):
+            raise EvictionSetError("group testing result failed verification")
+        return work

@@ -1,0 +1,138 @@
+"""Prime+Prune+Probe address pruning (Purnal et al. [70]; Section 8).
+
+PPP exploits LRU-like replacement to find congruent addresses with very
+few memory accesses — it was designed to defeat *randomized* caches,
+where minimizing accesses is essential:
+
+1. **Prime**: access a chunk of candidates.
+2. **Prune**: re-access the chunk, timing each line; lines that miss were
+   evicted by the chunk's own self-conflicts — drop them and repeat until
+   the whole chunk hits (it now co-resides in the cache).
+3. **Probe**: access the target; its insertion evicts exactly one of the
+   co-resident pruned lines (the LRU of the target's set); a timed sweep
+   identifies that line — which is congruent by construction.
+
+The found line replaces the target's slot pressure, so repeating the
+probe step yields further congruent lines.  The paper's Section 8 notes
+(via the CTPP evaluation) that PPP's success rate collapses with even a
+tenth of Cloud Run's background activity — pruning gives noise a long
+window to fake evictions — which the ablation benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import BudgetExceededError, EvictionSetError
+from .primitives import EvictionTester
+from .types import AlgorithmStats, EvsetConfig
+
+
+class PrimePruneProbe:
+    """PPP pruner (LLC/shared mode like the other algorithms here)."""
+
+    def __init__(self, chunk_scale: int = 2) -> None:
+        self.name = "ppp"
+        self.wants_parallel = True
+        #: Chunk size = chunk_scale * U * ways: pruning only bites when a
+        #: chunk brings *self-conflict* to the target's set (more congruent
+        #: lines than ways), so chunks must be capacity-scale.  (On the
+        #: randomized caches PPP was designed for, U is effectively 1 and
+        #: chunks are small — here the page-offset uncertainty inflates
+        #: them, one reason PPP is a poor fit for this setting.)
+        self.chunk_scale = chunk_scale
+
+    def _prune_chunk(
+        self, tester: EvictionTester, chunk: List[int], stats: AlgorithmStats
+    ) -> List[int]:
+        """Prime then prune a chunk until it co-resides (all hits)."""
+        ctx = tester.ctx
+        threshold = tester.threshold
+        survivors = list(chunk)
+        # The timed sweep itself refetches missing lines (displacing other
+        # survivors), so exact stabilization is unreachable; a few rounds
+        # get within a small churn band, which is all the probe step needs.
+        for _ in range(8):
+            tester.traverse(survivors)
+            stats.tests += 1
+            missing = []
+            # Sweep in reverse traversal order: a missing line's timed load
+            # refetches it and evicts its set's LRU — which in reverse
+            # order is a line that was already going to read as missing,
+            # not a still-unswept resident.
+            for va in reversed(survivors):
+                if ctx.timed_load(va) > threshold:
+                    missing.append(va)
+            if len(missing) <= max(1, len(survivors) // 50):
+                break
+            gone = set(missing)
+            survivors = [va for va in survivors if va not in gone]
+            if not survivors:
+                break
+        return survivors
+
+    def prune(
+        self,
+        tester: EvictionTester,
+        target_va: int,
+        candidates: List[int],
+        cfg: EvsetConfig,
+        deadline: int,
+        stats: AlgorithmStats,
+    ) -> List[int]:
+        ctx = tester.ctx
+        machine = ctx.machine
+        w = tester.ways
+        if len(candidates) < w:
+            raise EvictionSetError("candidate set smaller than associativity")
+        threshold = tester.threshold
+        mcfg = machine.cfg
+        uncertainty = mcfg.u_l2 if tester.mode == "l2" else mcfg.u_llc
+        chunk_size = min(len(candidates), self.chunk_scale * uncertainty * w)
+        evset: List[int] = []
+        pool = list(candidates)
+        cursor = 0
+        while len(evset) < w:
+            if machine.now > deadline:
+                raise BudgetExceededError("PPP ran out of budget")
+            if cursor >= len(pool):
+                raise EvictionSetError("PPP exhausted the candidate list")
+            chunk = evset + pool[cursor : cursor + chunk_size]
+            cursor += chunk_size
+            resident = list(chunk)
+            # Probe: the target's insertion evicts one co-resident line of
+            # its own set; find it with a timed sweep.  Sweep refetches
+            # churn co-residency, so when the probe stops finding lines we
+            # re-stabilize (re-prune) the survivors and try again.
+            for _ in range(4):
+                if machine.now > deadline:
+                    raise BudgetExceededError("PPP ran out of budget")
+                resident = self._prune_chunk(tester, resident, stats)
+                found_any = True
+                while len(evset) < w and found_any:
+                    tester.prime_target(target_va)
+                    stats.tests += 1
+                    found_any = False
+                    still = []
+                    members = set(evset)
+                    for va in reversed(resident):
+                        if va in members:
+                            continue
+                        if ctx.timed_load(va) > threshold:
+                            if len(evset) < w:  # keep the result minimal
+                                evset.append(va)
+                                found_any = True
+                        else:
+                            still.append(va)
+                    resident = evset + still[::-1]
+                if len(evset) >= w:
+                    break
+        stats.tests += 1
+        verifier = EvictionTester(
+            ctx, mode=tester.mode, parallel=True, repeats=tester.repeats
+        )
+        if not verifier.test(target_va, evset):
+            raise EvictionSetError("PPP result failed verification")
+        tester.n_tests += verifier.n_tests
+        tester.traversed_addresses += verifier.traversed_addresses
+        return evset

@@ -1,0 +1,104 @@
+"""Prime+Scope address pruning (Algorithm 2; Purnal et al. + Appendix A).
+
+Prime+Scope scans the candidate list sequentially: prime the target, access
+one candidate, and immediately check whether the target is still cached.
+The first candidate whose access evicts the target is congruent.  Because
+the check happens after *every* candidate access, the traversal cannot use
+memory-level parallelism — Prime+Scope is inherently tied to the slow
+sequential ``TestEviction``, which is exactly why it collapses under cloud
+noise (Section 4.3).
+
+**PsOp** (Appendix A): after each congruent address is found, candidates
+from the back of the list are recharged to a near-front position, keeping
+congruent density near the scan head.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import BudgetExceededError, EvictionSetError
+from .primitives import EvictionTester
+from .types import AlgorithmStats, EvsetConfig
+
+
+class PrimeScope:
+    """Prime+Scope pruner; ``recharging=True`` selects PsOp."""
+
+    def __init__(self, recharging: bool = False) -> None:
+        self.recharging = recharging
+        self.name = "psop" if recharging else "ps"
+        #: Prime+Scope's design is incompatible with parallel TestEviction.
+        self.wants_parallel = False
+
+    def prune(
+        self,
+        tester: EvictionTester,
+        target_va: int,
+        candidates: List[int],
+        cfg: EvsetConfig,
+        deadline: int,
+        stats: AlgorithmStats,
+    ) -> List[int]:
+        work = list(candidates)
+        w = tester.ways
+        if len(work) < w:
+            raise EvictionSetError("candidate set smaller than associativity")
+        ctx = tester.ctx
+        machine = ctx.machine
+        evset: List[int] = []
+
+        def reprime() -> None:
+            # Prime+Scope's defining trick: make the target the eviction
+            # candidate.  Load the target first, then the already-found
+            # congruent members, so the target is the oldest line in the
+            # set and the *next* congruent insertion evicts exactly it.
+            tester.prime_target(target_va)
+            if evset:
+                tester.traverse(evset)
+
+        reprime()
+        idx = 0
+        passes = 0
+        max_passes = 4 * w
+        while len(evset) < w:
+            if idx >= len(work):
+                # End of the list: restart the scan (the search "is repeated
+                # until W different congruent addresses are identified").
+                # Early passes find few members because resident congruent
+                # lines shield the target; re-scanning touches them and
+                # exposes the target again — the depletion effect PsOp's
+                # recharging mitigates.
+                passes += 1
+                if passes >= max_passes:
+                    raise EvictionSetError("Prime+Scope exhausted its scan passes")
+                idx = 0
+                reprime()
+            if machine.now > deadline:
+                raise BudgetExceededError("Prime+Scope ran out of budget")
+            candidate = work[idx]
+            # One sequential candidate access in the tested structure...
+            tester.traverse([candidate])
+            stats.tests += 1
+            # ...followed immediately by the scope check on the target.
+            if tester.check_evicted(target_va):
+                evset.append(candidate)
+                work.pop(idx)
+                if self.recharging and len(work) > 4 * w:
+                    # Recharge the scan head with candidates from the back.
+                    recharge = min(2 * w, len(work) - idx - 1)
+                    for _ in range(recharge):
+                        work.insert(min(idx + 1, len(work)), work.pop())
+                reprime()
+            else:
+                idx += 1
+        # Verify the assembled set with a (parallel) end-to-end test.
+        stats.tests += 1
+        verifier = EvictionTester(
+            ctx, mode=tester.mode, parallel=True, repeats=tester.repeats
+        )
+        if not verifier.test(target_va, evset):
+            raise EvictionSetError("Prime+Scope result failed verification")
+        tester.n_tests += verifier.n_tests
+        tester.traversed_addresses += verifier.traversed_addresses
+        return evset

@@ -1,0 +1,133 @@
+"""The ``TestEviction`` primitive (Section 4.1).
+
+``TestEviction(T_a, addrs, n)``: prime the target, access the first ``n``
+candidates, and time a reload of the target to decide whether it was
+evicted.  Three target structures are supported, each with the state
+manipulation and latency threshold that makes the verdict observable:
+
+* ``"llc"`` — the target and candidates are made *shared* (helper-thread
+  shadowing turns lines S, so they reside in the LLC).  Eviction of the
+  target from the LLC also invalidates its private copies (the directory
+  entry goes away), so a reload from DRAM vs. an LLC hit is the signal.
+* ``"sf"`` — the target and candidates are *stored* (RFO makes them
+  private/E, tracked by the SF).  Evicting the target's SF entry
+  back-invalidates its private copies; the reload leaves the private
+  caches, which the private-hit threshold detects.
+* ``"l2"`` — plain private loads; eviction from the L2 sends the line to
+  the LLC (victim cache) or DRAM, either way past the private threshold.
+
+The *parallel* form traverses candidates with overlapped accesses (MLP),
+making the test an order of magnitude faster — and therefore far less
+exposed to background noise — than the *sequential* (pointer-chase) form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...errors import ConfigurationError
+from ..context import AttackerContext
+
+
+class EvictionTester:
+    """Bound ``TestEviction`` primitive for one target structure.
+
+    Args:
+        ctx: Attacker context.
+        mode: ``"llc"``, ``"sf"``, or ``"l2"``.
+        parallel: Use overlapped traversal (True) or pointer-chase (False).
+        repeats: Traversals per test (1 suffices under LRU-like policies).
+    """
+
+    def __init__(
+        self,
+        ctx: AttackerContext,
+        mode: str = "llc",
+        parallel: bool = True,
+        repeats: int = 1,
+    ) -> None:
+        if mode not in ("llc", "sf", "l2"):
+            raise ConfigurationError(f"unknown TestEviction mode {mode!r}")
+        self.ctx = ctx
+        self.mode = mode
+        self.parallel = parallel
+        self.repeats = max(1, repeats)
+        cfg = ctx.machine.cfg
+        self.ways = {"llc": cfg.llc.ways, "sf": cfg.sf.ways, "l2": cfg.l2.ways}[mode]
+        self.n_tests = 0
+        self.traversed_addresses = 0
+
+    # -- State manipulation ------------------------------------------------------
+
+    def prime_target(self, target_va: int) -> None:
+        """Bring the target into the tested structure, freshly MRU.
+
+        The target is flushed first: a plain reload can be a private-cache
+        hit that never refreshes the target's LLC/L2 replacement state,
+        leaving it eviction-preferred and poisoning the test with false
+        positives.  The flush+reload makes the installed state
+        deterministic, and the target is the attacker's own line, so
+        clflush is always available.  (Stores carry their own RFO, so the
+        SF mode needs no flush.)
+        """
+        if self.mode == "llc":
+            self.ctx.flush(target_va)
+            self.ctx.load_shared(target_va)
+        elif self.mode == "sf":
+            self.ctx.store(target_va)
+        else:
+            self.ctx.flush(target_va)
+            self.ctx.load(target_va)
+
+    def traverse(self, vas: Sequence[int], n: Optional[int] = None) -> None:
+        """Flush then access the first ``n`` candidates in this mode's state.
+
+        The flush is essential on a non-inclusive hierarchy: a candidate
+        still resident in the attacker's private caches (or, shared, in
+        both the L2 and the LLC) is a cache *hit* and exerts no insertion
+        pressure on the tested structure — small candidate prefixes would
+        silently stop testing anything.  Flushing first makes every
+        candidate contribute exactly one insertion.
+        """
+        shared = self.mode == "llc"
+        write = self.mode == "sf"
+        count = len(vas) if n is None else min(n, len(vas))
+        self.ctx.flush_batch(vas, n=count)
+        for _ in range(self.repeats):
+            if self.parallel:
+                self.ctx.traverse_parallel(vas, n=count, shared=shared, write=write)
+            else:
+                self.ctx.traverse_chase(vas, n=count, shared=shared, write=write)
+        self.traversed_addresses += count * self.repeats
+
+    @property
+    def threshold(self) -> int:
+        return (
+            self.ctx.threshold_llc if self.mode == "llc" else self.ctx.threshold_private
+        )
+
+    def check_evicted(self, target_va: int) -> bool:
+        """Timed reload of the target; True if it left the structure."""
+        return self.ctx.timed_load(target_va) > self.threshold
+
+    # -- The primitive -------------------------------------------------------------
+
+    def test(self, target_va: int, vas: Sequence[int], n: Optional[int] = None) -> bool:
+        """TestEviction: do the first ``n`` candidates evict the target?"""
+        self.n_tests += 1
+        self.prime_target(target_va)
+        self.traverse(vas, n)
+        return self.check_evicted(target_va)
+
+    def is_eviction_set(self, target_va: int, vas: Sequence[int], votes: int = 1) -> bool:
+        """Verify a (small) set evicts the target; majority over ``votes``."""
+        positive = 0
+        for _ in range(votes):
+            if self.test(target_va, vas):
+                positive += 1
+        return positive * 2 > votes
+
+
+def deadline_exceeded(ctx: AttackerContext, deadline: int) -> bool:
+    """Whether the simulated clock has passed the construction deadline."""
+    return ctx.machine.now > deadline

@@ -1,0 +1,95 @@
+"""Shared data types for eviction-set construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EvsetConfig:
+    """Knobs of the construction process (paper defaults).
+
+    ``budget_ms`` is the per-eviction-set wall budget: 1,000 ms for the
+    unfiltered Table 3 experiments, 100 ms once candidate filtering is on
+    (Section 5.3).  Budgets are in *simulated* milliseconds.
+    """
+
+    #: Candidate set size multiplier: N = scale * U * W (Section 4.2).
+    candidate_scale: float = 3.0
+    #: Construction attempts before declaring failure (Section 4.2).
+    max_attempts: int = 10
+    #: Backtracks allowed per attempt (group testing and binary search).
+    max_backtracks: int = 20
+    #: Per-eviction-set time budget in simulated milliseconds.
+    budget_ms: float = 1000.0
+    #: Times each TestEviction traverses the candidate prefix.
+    traversal_repeats: int = 1
+    #: Backtracking stride of the binary search, as a fraction of N.
+    backtrack_stride_frac: float = 0.1
+    #: Group count for group testing; None = W + 1 (the common choice).
+    groups: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.candidate_scale <= 1.0:
+            raise ConfigurationError("candidate_scale must exceed 1")
+        if self.max_attempts < 1 or self.max_backtracks < 0:
+            raise ConfigurationError("invalid attempt/backtrack limits")
+        if self.budget_ms <= 0:
+            raise ConfigurationError("budget must be positive")
+
+    def budget_cycles(self, clock_ghz: float) -> int:
+        return int(self.budget_ms * clock_ghz * 1e6)
+
+
+@dataclass
+class CandidateSet:
+    """Candidate addresses at one page offset (one physical page each)."""
+
+    page_offset: int
+    vas: List[int]
+
+    def __len__(self) -> int:
+        return len(self.vas)
+
+
+@dataclass(frozen=True)
+class EvictionSet:
+    """A (believed-)minimal eviction set for one cache set.
+
+    ``kind`` is ``"sf"``, ``"llc"``, or ``"l2"``.  ``target_va`` is the
+    address the set was built against (used for re-validation).
+    """
+
+    kind: str
+    vas: List[int]
+    target_va: int
+
+    def __len__(self) -> int:
+        return len(self.vas)
+
+
+@dataclass
+class AlgorithmStats:
+    """Work counters accumulated during one construction."""
+
+    tests: int = 0
+    traversed_addresses: int = 0
+    backtracks: int = 0
+    attempts: int = 0
+
+
+@dataclass
+class BuildOutcome:
+    """Result of one eviction-set construction (success or failure)."""
+
+    success: bool
+    evset: Optional[EvictionSet]
+    elapsed_cycles: int
+    stats: AlgorithmStats = field(default_factory=AlgorithmStats)
+    failure_reason: str = ""
+
+    def elapsed_ms(self, clock_ghz: float) -> float:
+        return self.elapsed_cycles / (clock_ghz * 1e6)

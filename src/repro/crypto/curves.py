@@ -1,0 +1,215 @@
+"""Binary elliptic curves with self-derived group parameters.
+
+We use Koblitz (anomalous binary) curves ``y^2 + xy = x^3 + a*x^2 + 1``
+with ``a in {0, 1}`` because their group order over GF(2^m) follows from
+the Frobenius trace via a Lucas recurrence — no memorized NIST constants
+are needed, everything is derived and checked at construction:
+
+* ``#E(GF(2^m)) = 2^m + 1 - V_m`` with ``V_0 = 2``, ``V_1 = t``,
+  ``V_{k+1} = t*V_k - 2*V_{k-1}``, where ``t = 1`` if ``a = 1`` else ``-1``.
+* The cofactor is 2 for ``a = 1`` and 4 for ``a = 0``; the prime subgroup
+  order is verified with Miller–Rabin.
+* A generator is obtained by decompressing a random x-coordinate (solving
+  ``z^2 + z = c`` with the half-trace) and multiplying by the cofactor.
+
+The paper's victim curve is sect571r1; we substitute the same-size Koblitz
+curve K-571 (571-bit nonces, identical ladder structure) — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from ..errors import CryptoError
+from .gf2m import GF2m
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller–Rabin with fixed small bases plus deterministic extra rounds."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(n)  # deterministic per candidate
+    bases = list(_SMALL_PRIMES) + [rng.randrange(2, n - 1) for _ in range(rounds)]
+    for a in bases:
+        a %= n
+        if a < 2:
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def frobenius_order(m: int, a: int) -> int:
+    """#E(GF(2^m)) of the Koblitz curve E_a via the Lucas recurrence."""
+    if a not in (0, 1):
+        raise CryptoError("Koblitz curves have a in {0, 1}")
+    t = 1 if a == 1 else -1
+    v_prev, v = 2, t
+    for _ in range(m - 1):
+        v_prev, v = v, t * v - 2 * v_prev
+    return (1 << m) + 1 - v
+
+
+@dataclass(frozen=True)
+class BinaryCurve:
+    """y^2 + xy = x^3 + a*x^2 + b over GF(2^m), with a prime-order subgroup.
+
+    Attributes:
+        name: Curve label, e.g. ``"K-233"``.
+        field: The underlying GF(2^m).
+        a, b: Curve coefficients (b = 1 for Koblitz curves).
+        gx, gy: Generator of the prime-order subgroup.
+        n: Prime subgroup order (the nonce/keys live in [1, n)).
+        h: Cofactor.
+    """
+
+    name: str
+    field: GF2m
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+    h: int
+
+    @property
+    def generator(self) -> Tuple[int, int]:
+        return (self.gx, self.gy)
+
+    @property
+    def nonce_bits(self) -> int:
+        """Bit length of the subgroup order = bits processed per signing."""
+        return self.n.bit_length()
+
+    def is_on_curve(self, point: Optional[Tuple[int, int]]) -> bool:
+        """Whether ``point`` (None = infinity) satisfies the curve equation."""
+        if point is None:
+            return True
+        f = self.field
+        x, y = point
+        lhs = f.sqr(y) ^ f.mul(x, y)
+        rhs = f.mul(f.sqr(x), x) ^ f.mul(self.a, f.sqr(x)) ^ self.b
+        return lhs == rhs
+
+    def decompress_x(self, x: int) -> Tuple[int, int]:
+        """A point (x, y) on the curve for the given x, if one exists."""
+        f = self.field
+        if x == 0:
+            # y^2 = b -> y = sqrt(b) = b^(2^(m-1)).
+            y = f.pow(self.b, 1 << (f.m - 1))
+            return (0, y)
+        # Substitute z = y/x: z^2 + z = x + a + b/x^2.
+        c = x ^ self.a ^ f.div(self.b, f.sqr(x))
+        z, _ = f.solve_quadratic(c)  # raises if no point at this x
+        return (x, f.mul(z, x))
+
+
+def _derive_generator(
+    field: GF2m, a: int, b: int, n: int, h: int, seed: int
+) -> Tuple[int, int]:
+    """Find a generator of the order-n subgroup by cofactor multiplication."""
+    from .ec2m import scalar_mult  # deferred: ec2m imports this module
+
+    rng = random.Random(f"gen:{field.m}:{a}:{seed}")
+    curve_stub = BinaryCurve("stub", field, a, b, 0, 1, n, h)
+    while True:
+        x = field.random_element(rng)
+        if x == 0:
+            continue
+        try:
+            point = curve_stub.decompress_x(x)
+        except CryptoError:
+            continue  # no point at this x (trace was 1)
+        g = scalar_mult(curve_stub, h, point)
+        if g is not None:
+            return g
+
+
+def _largest_prime_factor(n: int, limit: int = 1 << 22) -> Optional[int]:
+    """Largest prime factor by trial division; None if out of reach."""
+    remaining = n
+    largest = None
+    f = 2
+    while f * f <= remaining and f < limit:
+        while remaining % f == 0:
+            largest = f if largest is None or f > largest else largest
+            remaining //= f
+        f += 1 if f == 2 else 2
+    if remaining > 1:
+        if is_probable_prime(remaining):
+            return remaining
+        return None
+    return largest
+
+
+@lru_cache(maxsize=None)
+def koblitz_curve(m: int, a: int, reduction_terms: Tuple[int, ...], name: str) -> BinaryCurve:
+    """Construct the Koblitz curve E_a over GF(2^m) with derived parameters."""
+    field = GF2m(m, reduction_terms)
+    order = frobenius_order(m, a)
+    h = 2 if a == 1 else 4
+    if order % h == 0 and is_probable_prime(order // h):
+        n = order // h
+    else:
+        # Non-standard m (e.g. the tiny test curve): find the largest prime
+        # factor by trial division and use the rest as cofactor.
+        n = _largest_prime_factor(order)
+        if n is None:
+            raise CryptoError(
+                f"cannot derive a prime subgroup order for m={m}, a={a}"
+            )
+        h = order // n
+    gx, gy = _derive_generator(field, a, 1, n, h, seed=0)
+    curve = BinaryCurve(name, field, a, 1, gx, gy, n, h)
+    if not curve.is_on_curve((gx, gy)):
+        raise CryptoError(f"derived generator is not on {name}")
+    return curve
+
+
+# Standard irreducible reduction polynomials (FIPS 186 / SEC 2).
+_CURVE_SPECS = {
+    "K-163": (163, 1, (7, 6, 3)),
+    "K-233": (233, 0, (74,)),
+    "K-571": (571, 0, (10, 5, 2)),
+    # Tiny curve for exhaustive-style unit tests (x^17 + x^3 + 1).
+    "K-TEST": (17, 1, (3,)),
+}
+
+
+def curve_by_name(name: str) -> BinaryCurve:
+    """Fetch (and lazily construct) a named curve."""
+    try:
+        m, a, terms = _CURVE_SPECS[name]
+    except KeyError:
+        raise CryptoError(
+            f"unknown curve {name!r}; choose from {sorted(_CURVE_SPECS)}"
+        ) from None
+    return koblitz_curve(m, a, terms, name)
+
+
+def __getattr__(attr: str):
+    """Lazy module attributes K163/K233/K571/KTEST (PEP 562)."""
+    lazy = {"K163": "K-163", "K233": "K-233", "K571": "K-571", "KTEST": "K-TEST"}
+    if attr in lazy:
+        return curve_by_name(lazy[attr])
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")

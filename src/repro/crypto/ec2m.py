@@ -1,0 +1,174 @@
+"""Point arithmetic on binary curves, including the vulnerable ladder.
+
+Two scalar multiplications are provided:
+
+* :func:`scalar_mult` — affine double-and-add, used for verification and
+  parameter derivation (not secret-dependent in any way we model).
+* :func:`ladder_scalar_mult` — a faithful port of OpenSSL 1.0.1e's
+  ``ec_GF2m_montgomery_point_multiply`` (López–Dahab X/Z Montgomery
+  ladder).  Its per-iteration branch on the scalar bit —
+
+  .. code-block:: c
+
+      if (BN_is_bit_set(scalar, i)) { Madd(x1,z1, ...); Mdouble(x2,z2); }
+      else                          { Madd(x2,z2, ...); Mdouble(x1,z1); }
+
+  — is exactly the secret-dependent control flow of the paper's Figure 8a.
+  An ``observer`` callback fires once per iteration with the bit value so
+  the victim model can emit the corresponding instruction-fetch schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import CryptoError
+from .curves import BinaryCurve
+
+#: A point is an (x, y) tuple of field elements; None is the point at infinity.
+Point = Optional[Tuple[int, int]]
+
+
+def point_neg(curve: BinaryCurve, p: Point) -> Point:
+    """-(x, y) = (x, x + y) on a binary curve."""
+    if p is None:
+        return None
+    x, y = p
+    return (x, x ^ y)
+
+
+def point_double(curve: BinaryCurve, p: Point) -> Point:
+    """Affine doubling."""
+    if p is None:
+        return None
+    f = curve.field
+    x, y = p
+    if x == 0:
+        return None  # (0, y) has order 2
+    lam = x ^ f.div(y, x)
+    x3 = f.sqr(lam) ^ lam ^ curve.a
+    y3 = f.sqr(x) ^ f.mul(lam ^ 1, x3)
+    return (x3, y3)
+
+
+def point_add(curve: BinaryCurve, p: Point, q: Point) -> Point:
+    """Affine addition with all edge cases."""
+    if p is None:
+        return q
+    if q is None:
+        return p
+    f = curve.field
+    x1, y1 = p
+    x2, y2 = q
+    if x1 == x2:
+        if y1 == y2:
+            return point_double(curve, p)
+        return None  # q == -p
+    lam = f.div(y1 ^ y2, x1 ^ x2)
+    x3 = f.sqr(lam) ^ lam ^ x1 ^ x2 ^ curve.a
+    y3 = f.mul(lam, x1 ^ x3) ^ x3 ^ y1
+    return (x3, y3)
+
+
+def scalar_mult(curve: BinaryCurve, k: int, p: Point) -> Point:
+    """Double-and-add scalar multiplication (reference implementation)."""
+    if p is None or k == 0:
+        return None
+    if k < 0:
+        return scalar_mult(curve, -k, point_neg(curve, p))
+    result: Point = None
+    addend = p
+    while k:
+        if k & 1:
+            result = point_add(curve, result, addend)
+        addend = point_double(curve, addend)
+        k >>= 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The Montgomery ladder (the victim's code path)
+# ---------------------------------------------------------------------------
+
+
+def _mdouble(curve: BinaryCurve, x: int, z: int) -> Tuple[int, int]:
+    """López–Dahab Mdouble: (X, Z) -> (X^4 + b Z^4, X^2 Z^2)."""
+    f = curve.field
+    x2 = f.sqr(x)
+    z2 = f.sqr(z)
+    return f.sqr(x2) ^ f.mul(curve.b, f.sqr(z2)), f.mul(x2, z2)
+
+
+def _madd(
+    curve: BinaryCurve, px: int, x1: int, z1: int, x2: int, z2: int
+) -> Tuple[int, int]:
+    """López–Dahab Madd: adds (x2, z2) into (x1, z1) w.r.t. base x ``px``."""
+    f = curve.field
+    t = f.mul(x1, z2)
+    u = f.mul(x2, z1)
+    z_out = f.sqr(t ^ u)
+    x_out = f.mul(px, z_out) ^ f.mul(t, u)
+    return x_out, z_out
+
+
+def _mxy(
+    curve: BinaryCurve, px: int, py: int, x1: int, z1: int, x2: int, z2: int
+) -> Point:
+    """Recover the affine result from the two ladder accumulators."""
+    f = curve.field
+    if z1 == 0:
+        return None
+    if z2 == 0:
+        return (px, px ^ py)
+    sx1 = f.div(x1, z1)
+    sx2 = f.div(x2, z2)
+    t = sx1 ^ px
+    num = f.mul(t, f.mul(t, sx2 ^ px) ^ f.sqr(px) ^ py)
+    y1 = f.div(num, px) ^ py
+    return (sx1, y1)
+
+
+def ladder_scalar_mult(
+    curve: BinaryCurve,
+    k: int,
+    p: Point,
+    observer: Optional[Callable[[int, int], None]] = None,
+) -> Point:
+    """Montgomery-ladder k*P with OpenSSL 1.0.1e's structure.
+
+    ``observer(iteration, bit)`` is invoked once per ladder iteration, in
+    execution order, with the scalar bit being processed — this is the hook
+    the victim model uses to emit the secret-dependent fetch schedule.
+    The iteration count is ``k.bit_length() - 1`` (the top bit is implicit),
+    as in the vulnerable implementation.
+    """
+    if p is None or k == 0:
+        return None
+    if k < 0:
+        raise CryptoError("ladder requires a non-negative scalar")
+    px, py = p
+    if px == 0:
+        # The ladder's Madd degenerates at x = 0; fall back (OpenSSL does
+        # the same for special inputs).
+        return scalar_mult(curve, k, p)
+    f = curve.field
+    x1, z1 = px, 1
+    x2, z2 = _mdouble(curve, px, 1)
+    for i in range(k.bit_length() - 2, -1, -1):
+        bit = (k >> i) & 1
+        if bit:
+            x1, z1 = _madd(curve, px, x1, z1, x2, z2)
+            x2, z2 = _mdouble(curve, x2, z2)
+        else:
+            x2, z2 = _madd(curve, px, x2, z2, x1, z1)
+            x1, z1 = _mdouble(curve, x1, z1)
+        if observer is not None:
+            observer(k.bit_length() - 2 - i, bit)
+    return _mxy(curve, px, py, x1, z1, x2, z2)
+
+
+def ladder_steps(curve: BinaryCurve, k: int, p: Point) -> Tuple[Point, List[int]]:
+    """Run the ladder and also return the processed bit sequence in order."""
+    bits: List[int] = []
+    result = ladder_scalar_mult(curve, k, p, observer=lambda i, b: bits.append(b))
+    return result, bits

@@ -1,0 +1,146 @@
+"""ECDSA over binary curves, with the nonce-leak identities.
+
+Signing uses the Montgomery ladder for ``k * G`` — the vulnerable code path
+— and exposes the same ``observer`` hook so the victim model can emit the
+per-bit fetch schedule while producing *real* signatures.
+
+The attack's endgame is also here: with a fully recovered nonce the private
+key falls out of one signature (:func:`recover_private_key`); with partial
+nonce bits across signatures the standard lattice attacks of the paper's
+references apply (out of scope — the paper itself stops at nonce bits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import CryptoError
+from .curves import BinaryCurve
+from .ec2m import ladder_scalar_mult, point_add, scalar_mult
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An (r, s) signature pair."""
+
+    r: int
+    s: int
+
+
+@dataclass(frozen=True)
+class EcdsaKeyPair:
+    """Private scalar d and public point Q = d*G."""
+
+    curve: BinaryCurve
+    d: int
+    qx: int
+    qy: int
+
+    @property
+    def public_point(self):
+        return (self.qx, self.qy)
+
+
+def hash_to_int(message: bytes, curve: BinaryCurve) -> int:
+    """SHA-256 digest truncated to the bit length of the subgroup order."""
+    digest = hashlib.sha256(message).digest()
+    e = int.from_bytes(digest, "big")
+    excess = max(0, e.bit_length() - curve.n.bit_length())
+    return e >> excess
+
+
+def generate_keypair(curve: BinaryCurve, rng: random.Random) -> EcdsaKeyPair:
+    """Generate a key pair with d uniform in [1, n)."""
+    d = rng.randrange(1, curve.n)
+    q = scalar_mult(curve, d, curve.generator)
+    if q is None:
+        raise CryptoError("degenerate key (d*G = infinity); n is wrong")
+    return EcdsaKeyPair(curve, d, q[0], q[1])
+
+
+def sign_with_nonce(
+    keypair: EcdsaKeyPair,
+    message: bytes,
+    k: int,
+    observer: Optional[Callable[[int, int], None]] = None,
+) -> EcdsaSignature:
+    """Sign with an explicit nonce ``k`` (the victim's hot loop).
+
+    ``observer`` receives each ladder iteration's (index, bit) — the
+    instrumentation hook of Section 7.1 ("purely for validation purposes").
+    Raises if the nonce is degenerate (r = 0 or s = 0), in which case the
+    caller draws a fresh nonce, exactly as the real implementation retries.
+    """
+    curve = keypair.curve
+    if not 1 <= k < curve.n:
+        raise CryptoError("nonce must be in [1, n)")
+    point = ladder_scalar_mult(curve, k, curve.generator, observer=observer)
+    if point is None:
+        raise CryptoError("k*G is infinity")
+    r = point[0] % curve.n
+    if r == 0:
+        raise CryptoError("degenerate nonce (r = 0); retry with a fresh k")
+    e = hash_to_int(message, curve)
+    s = (pow(k, -1, curve.n) * (e + r * keypair.d)) % curve.n
+    if s == 0:
+        raise CryptoError("degenerate nonce (s = 0); retry with a fresh k")
+    return EcdsaSignature(r, s)
+
+
+def sign(
+    keypair: EcdsaKeyPair,
+    message: bytes,
+    rng: random.Random,
+    observer: Optional[Callable[[int, int], None]] = None,
+):
+    """Sign with a random per-signature nonce; returns (signature, nonce).
+
+    The nonce is returned so experiments can keep ground truth; a real
+    victim would discard it — that it can be *observed through the cache*
+    is the whole point of the paper.
+    """
+    while True:
+        k = rng.randrange(1, keypair.curve.n)
+        try:
+            return sign_with_nonce(keypair, message, k, observer=observer), k
+        except CryptoError:
+            continue
+
+
+def verify(
+    curve: BinaryCurve, public_point, message: bytes, sig: EcdsaSignature
+) -> bool:
+    """Standard ECDSA verification."""
+    if not (1 <= sig.r < curve.n and 1 <= sig.s < curve.n):
+        return False
+    e = hash_to_int(message, curve)
+    w = pow(sig.s, -1, curve.n)
+    u1 = (e * w) % curve.n
+    u2 = (sig.r * w) % curve.n
+    point = point_add(
+        curve,
+        scalar_mult(curve, u1, curve.generator),
+        scalar_mult(curve, u2, public_point),
+    )
+    if point is None:
+        return False
+    return point[0] % curve.n == sig.r
+
+
+def recover_private_key(
+    curve: BinaryCurve, message: bytes, sig: EcdsaSignature, k: int
+) -> int:
+    """d = (s*k - e) / r mod n — one known nonce gives the private key."""
+    e = hash_to_int(message, curve)
+    return ((sig.s * k - e) * pow(sig.r, -1, curve.n)) % curve.n
+
+
+def recover_nonce(
+    curve: BinaryCurve, message: bytes, sig: EcdsaSignature, d: int
+) -> int:
+    """k = (e + r*d) / s mod n — ground-truth nonce from the private key."""
+    e = hash_to_int(message, curve)
+    return ((e + sig.r * d) * pow(sig.s, -1, curve.n)) % curve.n

@@ -1,0 +1,182 @@
+"""Arithmetic in GF(2^m) with a polynomial basis.
+
+Field elements are Python ints interpreted as polynomials over GF(2)
+(bit i = coefficient of x^i).  The field is defined by an irreducible
+reduction polynomial, conventionally a trinomial or pentanomial.
+
+All the operations ECDSA over a binary curve needs are here: addition
+(XOR), carry-less multiplication with reduction, fast squaring via a
+byte-spread table, inversion by the binary extended Euclidean algorithm,
+trace and half-trace (for solving the point-decompression quadratic
+``z^2 + z = c``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..errors import CryptoError
+
+#: Precomputed byte -> 16-bit "spread" (insert a zero between bits), the
+#: inner loop of GF(2^m) squaring.
+_SQUARE_SPREAD = tuple(
+    sum(((b >> i) & 1) << (2 * i) for i in range(8)) for b in range(256)
+)
+
+
+def _spread_bits(x: int) -> int:
+    """Interleave zero bits: bit i of x moves to bit 2i (square of a poly)."""
+    out = 0
+    shift = 0
+    while x:
+        out |= _SQUARE_SPREAD[x & 0xFF] << shift
+        x >>= 8
+        shift += 16
+    return out
+
+
+class GF2m:
+    """The field GF(2^m) defined by a reduction polynomial.
+
+    Args:
+        m: Extension degree.
+        reduction_terms: Exponents of the reduction polynomial's terms
+            *besides* x^m and 1 — e.g. ``(74,)`` for the trinomial
+            x^233 + x^74 + 1.
+    """
+
+    def __init__(self, m: int, reduction_terms: Iterable[int]) -> None:
+        if m < 2:
+            raise CryptoError("extension degree must be >= 2")
+        terms = tuple(sorted(set(reduction_terms), reverse=True))
+        if any(t <= 0 or t >= m for t in terms):
+            raise CryptoError("reduction term exponents must be in (0, m)")
+        self.m = m
+        self.poly = (1 << m) | 1
+        for t in terms:
+            self.poly |= 1 << t
+        self._mask = (1 << m) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GF2m(m={self.m})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GF2m) and self.poly == other.poly
+
+    def __hash__(self) -> int:
+        return hash(("GF2m", self.poly))
+
+    # -- Basic element handling ----------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, 2^m."""
+        return 1 << self.m
+
+    def is_element(self, x: int) -> bool:
+        return 0 <= x < (1 << self.m)
+
+    def random_element(self, rng) -> int:
+        return rng.getrandbits(self.m) & self._mask
+
+    # -- Ring operations -----------------------------------------------------
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition (= subtraction) is XOR."""
+        return a ^ b
+
+    def reduce(self, x: int) -> int:
+        """Reduce a polynomial of any degree modulo the field polynomial."""
+        m = self.m
+        poly = self.poly
+        deg = x.bit_length() - 1
+        while deg >= m:
+            x ^= poly << (deg - m)
+            deg = x.bit_length() - 1
+        return x
+
+    def mul(self, a: int, b: int) -> int:
+        """Carry-less multiply then reduce."""
+        if a == 0 or b == 0:
+            return 0
+        # Iterate over the sparser operand's set bits.
+        if a.bit_count() < b.bit_count():
+            a, b = b, a
+        acc = 0
+        shift = 0
+        while b:
+            low = b & -b
+            idx = low.bit_length() - 1
+            acc ^= a << idx
+            b ^= low
+        return self.reduce(acc)
+
+    def sqr(self, a: int) -> int:
+        """Squaring is linear in GF(2^m): spread bits then reduce."""
+        return self.reduce(_spread_bits(a))
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via the binary extended Euclidean algorithm."""
+        if a == 0:
+            raise CryptoError("zero has no inverse")
+        u, v = self.reduce(a), self.poly
+        g1, g2 = 1, 0
+        while u != 1:
+            j = u.bit_length() - v.bit_length()
+            if j < 0:
+                u, v = v, u
+                g1, g2 = g2, g1
+                j = -j
+            u ^= v << j
+            g1 ^= g2 << j
+        return self.reduce(g1)
+
+    def div(self, a: int, b: int) -> int:
+        """a / b."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """a**e by square-and-multiply (e >= 0)."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = 1
+        base = self.reduce(a)
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.sqr(base)
+            e >>= 1
+        return result
+
+    # -- Quadratic equations (point decompression) -----------------------------
+
+    def trace(self, c: int) -> int:
+        """The absolute trace Tr(c) = sum of c^(2^i) for i in [0, m)."""
+        t = c
+        acc = c
+        for _ in range(self.m - 1):
+            t = self.sqr(t)
+            acc ^= t
+        return acc  # always 0 or 1 for a valid trace
+
+    def half_trace(self, c: int) -> int:
+        """Half-trace H(c) (odd m only); solves z^2 + z = c when Tr(c) = 0."""
+        if self.m % 2 == 0:
+            raise CryptoError("half-trace requires odd extension degree")
+        z = c
+        for _ in range((self.m - 1) // 2):
+            z = self.sqr(self.sqr(z))
+            z ^= c
+        return z
+
+    def solve_quadratic(self, c: int) -> Tuple[int, int]:
+        """Both solutions of z^2 + z = c, or raise if none exist."""
+        if c == 0:
+            return 0, 1
+        if self.trace(c) != 0:
+            raise CryptoError("z^2 + z = c has no solution (trace is 1)")
+        z = self.half_trace(c)
+        if self.sqr(z) ^ z != self.reduce(c):
+            raise CryptoError("half-trace failed; is m odd and c reduced?")
+        return z, z ^ 1

@@ -1,0 +1,149 @@
+"""ECDSA key recovery from partial nonces — the Hidden Number Problem.
+
+The paper's attack recovers *most* bits of each nonce (median 81%), and
+its references ([37] Howgrave-Graham & Smart, [61] Nguyen & Shparlinski,
+[1] LadderLeak) show how partial nonce knowledge across several
+signatures yields the private key: each signature with ``l`` known
+most-significant nonce bits gives one Hidden Number Problem sample, and
+enough samples make the key the (embedded) short vector of a lattice.
+
+Derivation: with nonce k_i = a_i + b_i, where a_i collects the known top
+bits (shifted into place) and 0 <= b_i < B = 2^(bits - l), the ECDSA
+equation k_i = s_i^{-1}(e_i + r_i d) mod q gives
+
+    b_i = u_i + t_i * d  (mod q),   t_i = s_i^{-1} r_i,
+                                    u_i = s_i^{-1} e_i - a_i.
+
+The classic Boneh–Venkatesan lattice (scaled to integers) embeds
+(q*b_1', ..., q*b_N', d*B, q*B) with b_i' = b_i - B/2 as a short vector;
+LLL finds it once N*l comfortably exceeds the key length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CryptoError
+from .curves import BinaryCurve
+from .ec2m import scalar_mult
+from .ecdsa import EcdsaSignature, hash_to_int
+from .lattice import lll_reduce
+
+
+@dataclass(frozen=True)
+class HnpSample:
+    """One signature's HNP sample: b = u + t*d (mod q), 0 <= b < bound."""
+
+    t: int
+    u: int
+    bound: int
+
+
+def sample_from_signature(
+    curve: BinaryCurve,
+    message: bytes,
+    sig: EcdsaSignature,
+    known_msbs: int,
+    n_known: int,
+    nonce_bits: Optional[int] = None,
+) -> HnpSample:
+    """Build the HNP sample for a signature with known top nonce bits.
+
+    Args:
+        known_msbs: Integer value of the leading ``n_known`` bits of the
+            nonce (most significant first; includes the nonce's leading 1).
+        n_known: How many leading bits are known (>= 1).
+        nonce_bits: Total bit length of the nonce; defaults to the length
+            implied by the known leading-1 position, i.e. the subgroup
+            order's bit length.
+    """
+    if n_known < 1:
+        raise CryptoError("need at least one known bit")
+    q = curve.n
+    bits = nonce_bits if nonce_bits is not None else q.bit_length()
+    if n_known > bits:
+        raise CryptoError("cannot know more bits than the nonce has")
+    shift = bits - n_known
+    a = known_msbs << shift
+    bound = 1 << shift
+    s_inv = pow(sig.s, -1, q)
+    e = hash_to_int(message, curve)
+    t = (s_inv * sig.r) % q
+    u = (s_inv * e - a) % q
+    return HnpSample(t=t, u=u, bound=bound)
+
+
+def leading_bits_from_extraction(
+    extracted_bits: Sequence[int], max_bits: int = 40
+) -> Tuple[int, int]:
+    """Known leading nonce bits from a ladder-bit extraction.
+
+    The Montgomery ladder processes the nonce's bits below its implicit
+    leading 1, most-significant first, so a cleanly recovered *prefix* of
+    the extraction gives the nonce's top bits: value ``1 || prefix``.
+    Returns (known_msbs, n_known).
+    """
+    prefix = list(extracted_bits[:max_bits])
+    value = 1
+    for bit in prefix:
+        value = (value << 1) | bit
+    return value, len(prefix) + 1
+
+
+def _build_lattice(samples: Sequence[HnpSample], q: int) -> List[List[int]]:
+    """The scaled-integer Boneh–Venkatesan basis (rows = basis vectors)."""
+    n = len(samples)
+    b = samples[0].bound
+    dim = n + 2
+    rows: List[List[int]] = []
+    for i in range(n):
+        row = [0] * dim
+        row[i] = q * q
+        rows.append(row)
+    row_t = [(s.t * q) % (q * q) for s in samples] + [b, 0]
+    rows.append(row_t)
+    row_u = [((s.u - s.bound // 2) * q) % (q * q) for s in samples] + [0, b * q]
+    rows.append(row_u)
+    return rows
+
+
+def recover_private_key_hnp(
+    curve: BinaryCurve,
+    samples: Sequence[HnpSample],
+    public_point,
+) -> Optional[int]:
+    """Recover the ECDSA private key from HNP samples, verified publicly.
+
+    Returns the private scalar d with d*G == public_point, or None if the
+    lattice did not reveal it (too few samples / too few known bits).
+    """
+    if not samples:
+        raise CryptoError("need at least one HNP sample")
+    bounds = {s.bound for s in samples}
+    if len(bounds) != 1:
+        raise CryptoError("samples must share one bound (same n_known)")
+    q = curve.n
+    b = samples[0].bound
+    basis = _build_lattice(samples, q)
+    reduced = lll_reduce(basis)
+    n = len(samples)
+    for row in reduced:
+        tail = row[n]
+        if tail == 0 or tail % b:
+            continue
+        for candidate in ((tail // b) % q, (-tail // b) % q):
+            if candidate and scalar_mult(curve, candidate, curve.generator) == tuple(
+                public_point
+            ):
+                return candidate
+    return None
+
+
+def samples_needed(curve: BinaryCurve, n_known: int, margin: float = 1.4) -> int:
+    """Rule-of-thumb sample count: key_bits / known_bits x safety margin."""
+    if n_known < 1:
+        raise CryptoError("need at least one known bit")
+    import math
+
+    return max(3, math.ceil(curve.n.bit_length() / n_known * margin))

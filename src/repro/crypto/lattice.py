@@ -1,0 +1,119 @@
+"""All-integer LLL lattice basis reduction.
+
+The endgame the paper cites for *partial* nonce leakage ([37] Howgrave-
+Graham & Smart, [61] Nguyen & Shparlinski, [1] LadderLeak) reduces ECDSA
+key recovery to the Hidden Number Problem, solved by lattice basis
+reduction.  This module implements the Lenstra–Lenstra–Lovász algorithm
+in de Weger's all-integer formulation (Cohen, *A Course in Computational
+Algebraic Number Theory*, Algorithm 2.6.7): the Gram–Schmidt data is kept
+as exact integers (sub-determinants ``d`` and scaled coefficients
+``lam``), avoiding both floating-point precision loss and the
+denominator blow-up of rational arithmetic.
+
+Entries are Python ints of arbitrary size, so 233- or 571-bit group
+orders are handled exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from ..errors import CryptoError
+
+Matrix = List[List[int]]
+
+
+def _dot(u: Sequence[int], v: Sequence[int]) -> int:
+    return sum(a * b for a, b in zip(u, v))
+
+
+def _round_div(a: int, b: int) -> int:
+    """round(a / b) for integers (b > 0), ties away from zero."""
+    if a >= 0:
+        return (2 * a + b) // (2 * b)
+    return -((-2 * a + b) // (2 * b))
+
+
+def lll_reduce(basis: Matrix, delta: Fraction = Fraction(3, 4)) -> Matrix:
+    """LLL-reduce an integer lattice basis (rows are basis vectors).
+
+    Args:
+        basis: Row-major integer basis; rows must be linearly independent.
+        delta: Lovász parameter in (1/4, 1); 3/4 is the classic choice.
+
+    Returns:
+        A new LLL-reduced basis (the input is not modified).
+    """
+    if not basis:
+        return []
+    n = len(basis)
+    m = len(basis[0])
+    if any(len(row) != m for row in basis):
+        raise CryptoError("basis rows must share one dimension")
+    if not Fraction(1, 4) < delta < 1:
+        raise CryptoError("delta must be in (1/4, 1)")
+    delta_num, delta_den = delta.numerator, delta.denominator
+    b = [list(row) for row in basis]
+
+    # Integer Gram-Schmidt data: d[i+1] is the Gram determinant of the
+    # first i+1 vectors (d[0] = 1); lam[i][j] = mu[i][j] * d[j+1].
+    d = [0] * (n + 1)
+    d[0] = 1
+    lam = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1):
+            u = _dot(b[i], b[j])
+            for k in range(j):
+                u = (d[k + 1] * u - lam[i][k] * lam[j][k]) // d[k]
+            if j < i:
+                lam[i][j] = u
+            else:
+                d[i + 1] = u
+        if d[i + 1] <= 0:
+            raise CryptoError("basis rows are linearly dependent")
+
+    def size_reduce(k: int, l: int) -> None:
+        if 2 * abs(lam[k][l]) > d[l + 1]:
+            q = _round_div(lam[k][l], d[l + 1])
+            b[k] = [x - q * y for x, y in zip(b[k], b[l])]
+            for i in range(l):
+                lam[k][i] -= q * lam[l][i]
+            lam[k][l] -= q * d[l + 1]
+
+    def swap(k: int) -> None:
+        b[k], b[k - 1] = b[k - 1], b[k]
+        for j in range(k - 1):
+            lam[k][j], lam[k - 1][j] = lam[k - 1][j], lam[k][j]
+        lam_ = lam[k][k - 1]
+        new_dk = (d[k - 1] * d[k + 1] + lam_ * lam_) // d[k]
+        for i in range(k + 1, n):
+            t = lam[i][k]
+            lam[i][k] = (d[k + 1] * lam[i][k - 1] - lam_ * t) // d[k]
+            lam[i][k - 1] = (new_dk * t + lam_ * lam[i][k]) // d[k + 1]
+        d[k] = new_dk
+
+    k = 1
+    while k < n:
+        size_reduce(k, k - 1)
+        # Lovász condition with exact integers:
+        #   d[k+1]*d[k-1] >= (delta) * d[k]^2 - lam^2  (scaled by delta_den)
+        lhs = delta_den * (d[k + 1] * d[k - 1] + lam[k][k - 1] ** 2)
+        rhs = delta_num * d[k] * d[k]
+        if lhs < rhs:
+            swap(k)
+            k = max(k - 1, 1)
+        else:
+            for l in range(k - 2, -1, -1):
+                size_reduce(k, l)
+            k += 1
+    return b
+
+
+def shortest_vector(basis: Matrix) -> List[int]:
+    """The shortest nonzero row of an LLL-reduced copy of ``basis``."""
+    reduced = lll_reduce(basis)
+    nonzero = [row for row in reduced if any(row)]
+    if not nonzero:
+        raise CryptoError("lattice has no nonzero vector")
+    return min(nonzero, key=lambda row: _dot(row, row))

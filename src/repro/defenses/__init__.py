@@ -1,0 +1,17 @@
+"""Defenses against LLC/SF Prime+Probe (the paper's Section 8 landscape).
+
+The paper classifies mitigations into partition-based designs (complex,
+higher overhead, strong guarantees) and randomization-based designs
+(cheap, weaker guarantees).  This subpackage implements a representative
+partition-based defense — per-tenant **way partitioning** of the shared
+LLC and Snoop Filter (Intel CAT / DAWG style) — so its effect on every
+stage of the attack can be measured inside the simulator:
+
+* eviction sets still build (within the attacker's own ways), but
+* the victim's insertions can no longer evict the attacker's lines, so
+  Prime+Probe goes blind (see examples/defense_evaluation.py).
+"""
+
+from .partition import WayPartitionedCache, apply_way_partitioning
+
+__all__ = ["WayPartitionedCache", "apply_way_partitioning"]

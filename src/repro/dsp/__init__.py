@@ -1,0 +1,25 @@
+"""Signal-processing substrate: Welch PSD, windows, peaks, features.
+
+Section 6.2 of the paper identifies the victim's target cache set by
+estimating the power spectral density of each candidate set's access trace
+with Welch's method and looking for peaks at the victim's expected access
+frequency.  This subpackage implements that pipeline from scratch (only
+``numpy.fft`` is used underneath); tests cross-check against
+``scipy.signal.welch``.
+"""
+
+from .features import bin_trace, psd_feature_vector
+from .peaks import find_peaks, peak_strength_at
+from .welch import periodogram, welch_psd
+from .window import hann_window, rectangular_window
+
+__all__ = [
+    "bin_trace",
+    "find_peaks",
+    "hann_window",
+    "peak_strength_at",
+    "periodogram",
+    "psd_feature_vector",
+    "rectangular_window",
+    "welch_psd",
+]

@@ -1,0 +1,77 @@
+"""Trace binning and PSD feature extraction for the target-set classifier.
+
+The scanner turns each monitored set's access-timestamp trace into a fixed
+sampling-rate counting signal, estimates its Welch PSD, and compresses the
+spectrum into a fixed-length feature vector (log power in geometric
+frequency bands plus summary statistics) that the SVM consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .welch import welch_psd
+
+
+def bin_trace(
+    timestamps: Sequence[int],
+    start: int,
+    end: int,
+    bin_cycles: int,
+) -> np.ndarray:
+    """Convert event timestamps (cycles) to a per-bin count signal."""
+    if end <= start:
+        raise ReproError("trace window must have positive length")
+    if bin_cycles < 1:
+        raise ReproError("bin_cycles must be >= 1")
+    n_bins = max(2, (end - start) // bin_cycles)
+    signal = np.zeros(n_bins)
+    for t in timestamps:
+        idx = (t - start) // bin_cycles
+        if 0 <= idx < n_bins:
+            signal[idx] += 1.0
+    return signal
+
+
+def psd_feature_vector(
+    timestamps: Sequence[int],
+    start: int,
+    end: int,
+    bin_cycles: int,
+    clock_hz: float,
+    n_bands: int = 24,
+    nperseg: int = 256,
+) -> np.ndarray:
+    """Fixed-length PSD feature vector for one access trace.
+
+    Features: log mean power in ``n_bands`` geometric frequency bands,
+    followed by [log total power, log peak/floor ratio, normalized peak
+    frequency, log access count].  Length is ``n_bands + 4``.
+    """
+    signal = bin_trace(timestamps, start, end, bin_cycles)
+    fs = clock_hz / bin_cycles
+    freqs, psd = welch_psd(signal, fs=fs, nperseg=min(nperseg, len(signal)))
+    # Drop DC; use geometric bands over the remaining spectrum.
+    freqs = freqs[1:]
+    psd = psd[1:]
+    if len(psd) < n_bands:
+        # Very short traces: pad by repeating the last value.
+        psd = np.concatenate([psd, np.full(n_bands - len(psd), psd[-1] if len(psd) else 1e-30)])
+        freqs = np.linspace(fs / len(signal), fs / 2, len(psd))
+    edges = np.geomspace(freqs[0], freqs[-1], n_bands + 1)
+    bands = np.empty(n_bands)
+    for i in range(n_bands):
+        mask = (freqs >= edges[i]) & (freqs <= edges[i + 1])
+        bands[i] = psd[mask].mean() if mask.any() else 0.0
+    eps = 1e-30
+    log_bands = np.log10(bands + eps)
+    total = np.log10(psd.sum() + eps)
+    floor = float(np.median(psd)) + eps
+    peak_idx = int(np.argmax(psd))
+    peak_ratio = np.log10(psd[peak_idx] / floor + eps)
+    peak_freq = freqs[peak_idx] / (fs / 2)
+    count = np.log10(len(timestamps) + 1)
+    return np.concatenate([log_bands, [total, peak_ratio, peak_freq, count]])

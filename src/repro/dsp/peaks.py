@@ -1,0 +1,58 @@
+"""Peak detection in PSD estimates."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def find_peaks(
+    values: np.ndarray, min_prominence_ratio: float = 3.0
+) -> List[int]:
+    """Indices of local maxima at least ``min_prominence_ratio`` x the median.
+
+    A deliberately simple detector: the victim's peak in the PSD is an
+    order of magnitude above the broadband noise floor (Figure 7), so a
+    median-relative threshold on local maxima suffices.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or len(v) < 3:
+        raise ReproError("find_peaks needs a 1-D array of length >= 3")
+    floor = float(np.median(v))
+    if floor <= 0.0:
+        floor = float(np.mean(v)) or 1e-30
+    threshold = floor * min_prominence_ratio
+    peaks = []
+    for i in range(1, len(v) - 1):
+        if v[i] >= v[i - 1] and v[i] > v[i + 1] and v[i] > threshold:
+            peaks.append(i)
+    return peaks
+
+
+def peak_strength_at(
+    freqs: np.ndarray,
+    psd: np.ndarray,
+    target_freq: float,
+    rel_tolerance: float = 0.15,
+) -> Tuple[float, float]:
+    """(peak power near target_freq / median floor, actual peak frequency).
+
+    Measures how strongly the trace expresses the victim's expected access
+    frequency.  A ratio near 1 means "no peak"; the target set typically
+    scores orders of magnitude higher.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    psd = np.asarray(psd, dtype=float)
+    if target_freq <= 0:
+        raise ReproError("target frequency must be positive")
+    lo = target_freq * (1.0 - rel_tolerance)
+    hi = target_freq * (1.0 + rel_tolerance)
+    band = (freqs >= lo) & (freqs <= hi)
+    if not band.any():
+        return 0.0, 0.0
+    floor = float(np.median(psd[1:])) or 1e-30
+    idx = np.argmax(np.where(band, psd, -np.inf))
+    return float(psd[idx] / floor), float(freqs[idx])

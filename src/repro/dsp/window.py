@@ -1,0 +1,24 @@
+"""Window functions for spectral estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def hann_window(n: int) -> np.ndarray:
+    """The periodic ("DFT-even") Hann window, the standard Welch taper."""
+    if n < 1:
+        raise ReproError("window length must be >= 1")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / n)
+
+
+def rectangular_window(n: int) -> np.ndarray:
+    """The boxcar window (plain segmented periodogram)."""
+    if n < 1:
+        raise ReproError("window length must be >= 1")
+    return np.ones(n)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, noise, or attack configuration is inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address is malformed or outside the mapped region."""
+
+
+class CoherenceError(ReproError):
+    """The simulated cache hierarchy reached an inconsistent state."""
+
+
+class EvictionSetError(ReproError):
+    """Eviction set construction failed permanently."""
+
+
+class BudgetExceededError(EvictionSetError):
+    """An eviction set construction attempt ran out of its time budget."""
+
+
+class ScanError(ReproError):
+    """Target cache-set identification failed."""
+
+
+class ExtractionError(ReproError):
+    """Nonce-bit extraction from an access trace failed."""
+
+
+class CryptoError(ReproError):
+    """Invalid cryptographic parameters or operations."""
+
+
+class NotTrainedError(ReproError):
+    """A model was used before being fitted."""

@@ -1,0 +1,176 @@
+"""Set-associative cache structure.
+
+:class:`SetAssociativeCache` stores tags (physical line addresses) with an
+owner annotation per line and delegates recency decisions to a pluggable
+replacement policy.  It is used both for private caches (L1/L2, one instance
+per core) and, with externally computed global set indices, for the sliced
+shared LLC and Snoop Filter.
+
+Sets are materialized lazily so full-scale presets (114k SF sets on a
+28-slice part) cost nothing until touched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .replacement import make_policy
+
+
+class _CacheSet:
+    """One set: parallel tag/owner arrays plus replacement state."""
+
+    __slots__ = ("tags", "owners", "policy", "noise_t")
+
+    def __init__(self, ways: int, policy_name: str, rng: random.Random) -> None:
+        self.tags: List[Optional[int]] = [None] * ways
+        self.owners: List[int] = [0] * ways
+        self.policy = make_policy(policy_name, ways, rng)
+        #: Cycle up to which background noise has been reconciled
+        #: (maintained by the hierarchy's noise hook).
+        self.noise_t = 0
+
+
+class SetAssociativeCache:
+    """A (possibly sliced) set-associative cache indexed by set number.
+
+    The caller computes the set index — for private caches that is the plain
+    index field of the address, for the LLC/SF it is
+    ``slice * sets_per_slice + index`` — so this class stays agnostic of
+    slicing and address mapping.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_sets: int,
+        ways: int,
+        policy_name: str,
+        rng: random.Random,
+    ) -> None:
+        self.name = name
+        self.n_sets = n_sets
+        self.ways = ways
+        self._policy_name = policy_name
+        self._rng = rng
+        self._sets: Dict[int, _CacheSet] = {}
+
+    def _set(self, set_idx: int) -> _CacheSet:
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            cset = _CacheSet(self.ways, self._policy_name, self._rng)
+            self._sets[set_idx] = cset
+        return cset
+
+    def get_set(self, set_idx: int) -> _CacheSet:
+        """The set object (materializing it if needed); used by noise hooks."""
+        return self._set(set_idx)
+
+    # -- Queries ---------------------------------------------------------
+
+    def lookup(self, set_idx: int, tag: int) -> bool:
+        """Hit test that updates replacement state on a hit."""
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            return False
+        try:
+            way = cset.tags.index(tag)
+        except ValueError:
+            return False
+        cset.policy.touch(way)
+        return True
+
+    def contains(self, set_idx: int, tag: int) -> bool:
+        """Hit test with no side effects."""
+        cset = self._sets.get(set_idx)
+        return cset is not None and tag in cset.tags
+
+    def owner_of(self, set_idx: int, tag: int) -> Optional[int]:
+        """Owner annotation of ``tag``, or None if absent."""
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            return None
+        try:
+            return cset.owners[cset.tags.index(tag)]
+        except ValueError:
+            return None
+
+    def occupancy(self, set_idx: int) -> int:
+        """Number of valid lines in the set."""
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            return 0
+        return sum(1 for t in cset.tags if t is not None)
+
+    def tags_in_set(self, set_idx: int) -> List[int]:
+        """Valid tags currently in the set (unordered snapshot)."""
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            return []
+        return [t for t in cset.tags if t is not None]
+
+    def peek_victim(self, set_idx: int) -> Optional[int]:
+        """Tag that the next fill into a *full* set would evict.
+
+        Returns None when the set has a free way (no eviction would occur).
+        This is the eviction candidate (EVC) that Prime+Scope relies on.
+        """
+        cset = self._sets.get(set_idx)
+        if cset is None or None in cset.tags:
+            return None
+        return cset.tags[cset.policy.victim()]
+
+    # -- Mutations ---------------------------------------------------------
+
+    def insert(
+        self, set_idx: int, tag: int, owner: int = 0
+    ) -> Optional[Tuple[int, int]]:
+        """Install ``tag``; returns the evicted ``(tag, owner)`` if any.
+
+        If the tag is already present this degrades to a touch (plus owner
+        update) and nothing is evicted.
+        """
+        cset = self._set(set_idx)
+        tags = cset.tags
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            cset.owners[way] = owner
+            cset.policy.touch(way)
+            return None
+        try:
+            way = tags.index(None)
+            evicted = None
+        except ValueError:
+            way = cset.policy.victim()
+            evicted = (tags[way], cset.owners[way])
+        tags[way] = tag
+        cset.owners[way] = owner
+        cset.policy.fill(way)
+        return evicted
+
+    def remove(self, set_idx: int, tag: int) -> bool:
+        """Invalidate ``tag`` if present; returns whether it was."""
+        cset = self._sets.get(set_idx)
+        if cset is None:
+            return False
+        try:
+            way = cset.tags.index(tag)
+        except ValueError:
+            return False
+        cset.tags[way] = None
+        cset.owners[way] = 0
+        cset.policy.invalidate(way)
+        return True
+
+    def flush_all(self) -> None:
+        """Drop every line (used by tests and machine reset)."""
+        self._sets.clear()
+
+    @property
+    def touched_sets(self) -> int:
+        """Number of sets that have been materialized."""
+        return len(self._sets)

@@ -1,0 +1,135 @@
+"""LLC/SF slice hash functions.
+
+Modern Intel parts hash *all* physical-address bits above the line offset to
+pick an LLC slice (McCalpin's TACC report; Section 2.2.1 of the paper).  For
+power-of-two slice counts the hash is linear over GF(2) (an XOR-fold of the
+line address against per-output-bit masks); for non-power-of-two counts
+(e.g. the 28-slice Skylake-SP or 22-slice Xeon Gold 6152) Intel uses a
+complex non-linear function.  Two key properties matter for the attack:
+
+1. A tenant controlling only page-offset bits cannot reduce the number of
+   possible slices an address maps to — so U_LLC carries the full
+   ``n_slices`` factor.
+2. The hash distributes lines near-uniformly across slices.
+
+Both hash families below have these properties and are deterministic given a
+seed, which stands in for the (undocumented, per-SKU) real constants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol
+
+from ..errors import ConfigurationError
+
+
+class SliceHash(Protocol):
+    """Maps a physical line address to a slice index."""
+
+    n_slices: int
+
+    def slice_of(self, line_addr: int) -> int:
+        """Slice index in ``[0, n_slices)`` for a physical line address."""
+        ...
+
+
+def _parity(x: int) -> int:
+    """Parity of the set bits of ``x``."""
+    x ^= x >> 32
+    x ^= x >> 16
+    x ^= x >> 8
+    x ^= x >> 4
+    x ^= x >> 2
+    x ^= x >> 1
+    return x & 1
+
+
+def _random_masks(rng: random.Random, n_bits: int, width: int) -> List[int]:
+    """Draw ``n_bits`` distinct nonzero XOR masks over ``width`` input bits.
+
+    Each mask covers roughly half the input bits, like the reverse-engineered
+    Intel constants, which guarantees that unknown high-order frame bits
+    always contribute to every output bit.
+    """
+    masks: List[int] = []
+    seen = set()
+    while len(masks) < n_bits:
+        mask = 0
+        for bit in range(width):
+            if rng.random() < 0.5:
+                mask |= 1 << bit
+        # Force dependence on high (attacker-unknown) bits so page-offset
+        # control never pins an output bit.
+        mask |= 1 << (width - 1 - len(masks) % 8)
+        if mask and mask not in seen:
+            seen.add(mask)
+            masks.append(mask)
+    return masks
+
+
+class LinearSliceHash:
+    """GF(2)-linear slice hash for power-of-two slice counts.
+
+    Output bit *i* is the parity of ``line_addr & mask_i``.
+    """
+
+    def __init__(self, n_slices: int, seed: int = 0, width: int = 30) -> None:
+        if n_slices < 1 or n_slices & (n_slices - 1):
+            raise ConfigurationError("LinearSliceHash needs a power-of-two slice count")
+        self.n_slices = n_slices
+        self._bits = n_slices.bit_length() - 1
+        rng = random.Random(f"linear-slice-hash:{seed}")
+        self._masks = _random_masks(rng, max(self._bits, 1), width)
+
+    def slice_of(self, line_addr: int) -> int:
+        if self.n_slices == 1:
+            return 0
+        out = 0
+        for i in range(self._bits):
+            out |= _parity(line_addr & self._masks[i]) << i
+        return out
+
+
+class ComplexSliceHash:
+    """Non-linear slice hash for arbitrary (incl. non-power-of-two) counts.
+
+    Computes a wide linear hash, sends it through a fixed pseudo-random
+    permutation (the non-linearity), and reduces modulo the slice count.
+    With a 14-bit intermediate hash the modulo bias is below 0.2%.
+    """
+
+    _INTERMEDIATE_BITS = 14
+
+    def __init__(self, n_slices: int, seed: int = 0, width: int = 30) -> None:
+        if n_slices < 1:
+            raise ConfigurationError("need at least one slice")
+        self.n_slices = n_slices
+        rng = random.Random(f"complex-slice-hash:{seed}")
+        self._masks = _random_masks(rng, self._INTERMEDIATE_BITS, width)
+        size = 1 << self._INTERMEDIATE_BITS
+        perm = list(range(size))
+        rng.shuffle(perm)
+        self._perm = perm
+
+    def slice_of(self, line_addr: int) -> int:
+        if self.n_slices == 1:
+            return 0
+        h = 0
+        for i, mask in enumerate(self._masks):
+            h |= _parity(line_addr & mask) << i
+        return self._perm[h] % self.n_slices
+
+
+def make_slice_hash(kind: str, n_slices: int, seed: int = 0, width: int = 30) -> SliceHash:
+    """Create a slice hash of the configured family.
+
+    ``kind`` is ``"linear"`` or ``"complex"``.  ``"linear"`` falls back to
+    the complex hash when the slice count is not a power of two, mirroring
+    real parts where only power-of-two SKUs use the plain XOR hash.
+    """
+    if kind not in ("linear", "complex"):
+        raise ConfigurationError(f"unknown slice hash kind {kind!r}")
+    if kind == "linear" and n_slices & (n_slices - 1) == 0:
+        return LinearSliceHash(n_slices, seed=seed, width=width)
+    return ComplexSliceHash(n_slices, seed=seed, width=width)

@@ -1,0 +1,31 @@
+"""Minimal machine-learning substrate (scikit-learn is not available here).
+
+The paper trains a polynomial-kernel SVM to recognize target-set PSD
+signatures (Section 7.2) and a random forest to classify iteration
+boundaries in access traces (Section 7.3).  This subpackage provides both
+model families from scratch:
+
+* :mod:`repro.ml.svm` — kernel SVM trained with (simplified) SMO.
+* :mod:`repro.ml.tree` / :mod:`repro.ml.forest` — CART decision trees and
+  bagged random forests.
+* :mod:`repro.ml.scaler` — feature standardization.
+* :mod:`repro.ml.metrics` — accuracy / FPR / FNR / confusion counts.
+"""
+
+from .forest import RandomForestClassifier
+from .metrics import BinaryClassificationReport, evaluate_binary
+from .scaler import StandardScaler
+from .svm import SVC, linear_kernel, poly_kernel, rbf_kernel
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "BinaryClassificationReport",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "SVC",
+    "StandardScaler",
+    "evaluate_binary",
+    "linear_kernel",
+    "poly_kernel",
+    "rbf_kernel",
+]

@@ -1,0 +1,82 @@
+"""Random-forest classifier: bagged CART trees with feature subsampling.
+
+Replaces the scikit-learn random forest the paper uses to predict whether a
+detected memory access is an iteration boundary (Section 7.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotTrainedError
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Majority-vote ensemble of bootstrap-trained decision trees.
+
+    Args:
+        n_estimators: Number of trees.
+        max_depth: Per-tree depth cap.
+        max_features: Features per split; default sqrt(d).
+        seed: Master seed (per-tree seeds derive from it).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: Optional[int] = 12,
+        max_features: Optional[int] = None,
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self._trees = None
+        self.classes_ = None
+
+    def fit(self, x, y) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n, d = x.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(math.sqrt(d)))
+        rng = random.Random(self.seed)
+        self._trees = []
+        for t in range(self.n_estimators):
+            idx = [rng.randrange(n) for _ in range(n)]  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=rng.getrandbits(32),
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x) -> np.ndarray:
+        if self._trees is None:
+            raise NotTrainedError("RandomForestClassifier used before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        # Align per-tree class vectors onto the forest's class list.
+        total = np.zeros((len(x), len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self._trees:
+            proba = tree.predict_proba(x)
+            for j, c in enumerate(tree.classes_):
+                total[:, class_pos[c]] += proba[:, j]
+        return total / len(self._trees)
+
+    def predict(self, x) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,68 @@
+"""Binary-classification metrics (accuracy, FPR, FNR, confusion counts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryClassificationReport:
+    """Confusion counts and derived rates for a binary classifier.
+
+    The paper reports its SVM's false-negative rate (1.02%) and
+    false-positive rate (0.01%) on a held-out validation set; this mirrors
+    those definitions (positive = target set).
+    """
+
+    true_positives: int
+    true_negatives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.true_negatives
+            + self.false_positives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / max(1, self.total)
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        denom = self.false_negatives + self.true_positives
+        return self.false_negatives / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        return 1.0 - self.false_negative_rate
+
+
+def evaluate_binary(y_true, y_pred, positive=1) -> BinaryClassificationReport:
+    """Build a report from label arrays; ``positive`` marks the target class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    pos_t = y_true == positive
+    pos_p = y_pred == positive
+    return BinaryClassificationReport(
+        true_positives=int(np.sum(pos_t & pos_p)),
+        true_negatives=int(np.sum(~pos_t & ~pos_p)),
+        false_positives=int(np.sum(~pos_t & pos_p)),
+        false_negatives=int(np.sum(pos_t & ~pos_p)),
+    )

@@ -1,0 +1,31 @@
+"""Feature standardization (zero mean, unit variance per column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotTrainedError
+
+
+class StandardScaler:
+    """Standardize features; constant columns are left centered only."""
+
+    def __init__(self) -> None:
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, x) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x):
+        if self.mean_ is None:
+            raise NotTrainedError("StandardScaler used before fit()")
+        return (np.asarray(x, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, x):
+        return self.fit(x).transform(x)

@@ -1,0 +1,177 @@
+"""Kernel support-vector classifier trained with simplified SMO.
+
+This replaces scikit-learn's ``SVC(kernel="poly")`` used by the paper's
+target-set scanner.  The training sets involved are small (hundreds to a
+few thousand PSD feature vectors), where simplified SMO (Platt's algorithm
+with random second-choice heuristics) converges quickly and exactly enough.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import NotTrainedError, ReproError
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel() -> Kernel:
+    """K(X, Z) = X Z^T."""
+
+    def k(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return x @ z.T
+
+    return k
+
+
+def poly_kernel(degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> Kernel:
+    """K(X, Z) = (gamma * X Z^T + coef0) ** degree (the paper's kernel)."""
+
+    def k(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return (gamma * (x @ z.T) + coef0) ** degree
+
+    return k
+
+
+def rbf_kernel(gamma: float = 1.0) -> Kernel:
+    """K(x, z) = exp(-gamma * ||x - z||^2)."""
+
+    def k(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        x2 = np.sum(x * x, axis=1)[:, None]
+        z2 = np.sum(z * z, axis=1)[None, :]
+        return np.exp(-gamma * (x2 + z2 - 2.0 * (x @ z.T)))
+
+    return k
+
+
+class SVC:
+    """Binary kernel SVM (labels +1 / -1 internally; any two labels accepted).
+
+    Args:
+        kernel: Kernel function; default cubic polynomial like the paper's.
+        c: Soft-margin penalty.
+        tol: KKT violation tolerance.
+        max_passes: SMO stops after this many consecutive passes without an
+            alpha update.
+        seed: RNG seed for SMO's second-choice heuristic.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        c: float = 1.0,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_iters: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else poly_kernel()
+        self.c = c
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iters = max_iters
+        self.seed = seed
+        self._alpha = None
+        self._b = 0.0
+        self._x = None
+        self._y = None
+        self.classes_ = None
+
+    # -- Training ----------------------------------------------------------
+
+    def fit(self, x, y) -> "SVC":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ReproError("SVC is a binary classifier; got "
+                             f"{len(classes)} classes")
+        self.classes_ = classes
+        ys = np.where(y == classes[1], 1.0, -1.0)
+        n = len(x)
+        k = self.kernel(x, x)
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = random.Random(self.seed)
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iters:
+            iters += 1
+            changed = 0
+            errors = (k @ (alpha * ys)) + b - ys  # E_i for all i
+            for i in range(n):
+                e_i = errors[i]
+                if (ys[i] * e_i < -self.tol and alpha[i] < self.c) or (
+                    ys[i] * e_i > self.tol and alpha[i] > 0
+                ):
+                    j = rng.randrange(n - 1)
+                    if j >= i:
+                        j += 1
+                    e_j = float(k[j] @ (alpha * ys)) + b - ys[j]
+                    a_i_old, a_j_old = alpha[i], alpha[j]
+                    if ys[i] != ys[j]:
+                        lo = max(0.0, a_j_old - a_i_old)
+                        hi = min(self.c, self.c + a_j_old - a_i_old)
+                    else:
+                        lo = max(0.0, a_i_old + a_j_old - self.c)
+                        hi = min(self.c, a_i_old + a_j_old)
+                    if lo == hi:
+                        continue
+                    eta = 2.0 * k[i, j] - k[i, i] - k[j, j]
+                    if eta >= 0:
+                        continue
+                    a_j = a_j_old - ys[j] * (e_i - e_j) / eta
+                    a_j = min(hi, max(lo, a_j))
+                    if abs(a_j - a_j_old) < 1e-7:
+                        continue
+                    a_i = a_i_old + ys[i] * ys[j] * (a_j_old - a_j)
+                    alpha[i], alpha[j] = a_i, a_j
+                    b1 = (
+                        b
+                        - e_i
+                        - ys[i] * (a_i - a_i_old) * k[i, i]
+                        - ys[j] * (a_j - a_j_old) * k[i, j]
+                    )
+                    b2 = (
+                        b
+                        - e_j
+                        - ys[i] * (a_i - a_i_old) * k[i, j]
+                        - ys[j] * (a_j - a_j_old) * k[j, j]
+                    )
+                    if 0 < a_i < self.c:
+                        b = b1
+                    elif 0 < a_j < self.c:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    errors = (k @ (alpha * ys)) + b - ys
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        support = alpha > 1e-8
+        self._alpha = alpha[support] * ys[support]
+        self._x = x[support]
+        self._y = ys[support]
+        self._b = b
+        return self
+
+    # -- Inference ----------------------------------------------------------
+
+    def decision_function(self, x) -> np.ndarray:
+        if self._alpha is None:
+            raise NotTrainedError("SVC used before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if len(self._x) == 0:
+            return np.full(len(x), self._b)
+        return self.kernel(x, self._x) @ self._alpha + self._b
+
+    def predict(self, x) -> np.ndarray:
+        scores = self.decision_function(x)
+        return np.where(scores >= 0, self.classes_[1], self.classes_[0])
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors kept after training."""
+        return 0 if self._x is None else len(self._x)

@@ -1,0 +1,148 @@
+"""CART decision-tree classifier (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotTrainedError
+
+
+@dataclass
+class _Node:
+    """Internal split node or leaf (leaf when ``feature`` is None)."""
+
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    #: Per-class probability vector at a leaf.
+    proba: Optional[np.ndarray] = None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float(np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """A CART tree; supports random feature subsetting for forests.
+
+    Args:
+        max_depth: Depth cap (None = unbounded).
+        min_samples_split: Do not split nodes smaller than this.
+        max_features: Features considered per split (None = all; used by
+            random forests to decorrelate trees).
+        seed: RNG seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.classes_ = None
+
+    def fit(self, x, y) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        rng = random.Random(self.seed)
+        self._root = self._build(x, y_idx, depth=0, rng=rng)
+        return self
+
+    def _leaf(self, y_idx: np.ndarray) -> _Node:
+        counts = np.bincount(y_idx, minlength=len(self.classes_)).astype(float)
+        return _Node(proba=counts / max(1.0, counts.sum()))
+
+    def _build(self, x: np.ndarray, y_idx: np.ndarray, depth: int, rng) -> _Node:
+        n, d = x.shape
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or len(np.unique(y_idx)) == 1
+        ):
+            return self._leaf(y_idx)
+        if self.max_features is not None and self.max_features < d:
+            features = rng.sample(range(d), self.max_features)
+        else:
+            features = range(d)
+        n_classes = len(self.classes_)
+        best = None  # (gini, feature, threshold)
+        parent_counts = np.bincount(y_idx, minlength=n_classes)
+        for f in features:
+            values = x[:, f]
+            order = np.argsort(values, kind="stable")
+            sorted_vals = values[order]
+            sorted_y = y_idx[order]
+            left_counts = np.zeros(n_classes)
+            right_counts = parent_counts.astype(float).copy()
+            for i in range(n - 1):
+                c = sorted_y[i]
+                left_counts[c] += 1
+                right_counts[c] -= 1
+                if sorted_vals[i] == sorted_vals[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                score = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if best is None or score < best[0]:
+                    threshold = (sorted_vals[i] + sorted_vals[i + 1]) / 2.0
+                    best = (score, f, threshold)
+        if best is None:
+            return self._leaf(y_idx)
+        _, feature, threshold = best
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return self._leaf(y_idx)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(x[mask], y_idx[mask], depth + 1, rng),
+            right=self._build(x[~mask], y_idx[~mask], depth + 1, rng),
+        )
+
+    # -- Inference ----------------------------------------------------------
+
+    def _proba_one(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        while node.proba is None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.proba
+
+    def predict_proba(self, x) -> np.ndarray:
+        if self._root is None:
+            raise NotTrainedError("DecisionTreeClassifier used before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.array([self._proba_one(row) for row in x])
+
+    def predict(self, x) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.proba is not None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise NotTrainedError("DecisionTreeClassifier used before fit()")
+        return walk(self._root)

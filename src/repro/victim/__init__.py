@@ -1,0 +1,23 @@
+"""The victim: a containerized service running vulnerable ECDSA signing.
+
+Models the target of Section 7: a web service that, for a fraction of its
+execution time, runs OpenSSL 1.0.1e's Montgomery-ladder scalar
+multiplication whose secret-dependent control flow fetches different code
+cache lines per nonce bit (Figure 8).  The victim executes *real* ladder
+iterations (or a statistically identical fast path) and emits the
+corresponding fetch schedule into the simulated machine, together with the
+ground-truth instrumentation the paper uses for validation.
+"""
+
+from .layout import VictimLayout
+from .ecdsa_victim import EcdsaVictim, SigningGroundTruth, VictimConfig
+from .runner import expected_target_frequency, run_victim_alone
+
+__all__ = [
+    "EcdsaVictim",
+    "SigningGroundTruth",
+    "VictimConfig",
+    "VictimLayout",
+    "expected_target_frequency",
+    "run_victim_alone",
+]

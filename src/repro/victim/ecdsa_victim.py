@@ -1,0 +1,232 @@
+"""The ECDSA victim process and its access schedule.
+
+Each signing runs the Montgomery ladder over the nonce; per iteration
+(~9,700 cycles on the paper's 2 GHz hosts) the victim fetches:
+
+* the monitored line at the iteration boundary (always), and again at the
+  iteration midpoint when the bit is 0 (the instrumented build's
+  `else`-direction line, Section 7.1);
+* the MAdd/MDouble code and field-element data lines at other page offsets
+  (periodic at similar frequencies — the WholeSys false-positive sources).
+
+Signing occupies ``duty_cycle`` of the service's busy time; the rest is
+request parsing/response work over the service working set (the
+de-synchronization problem of Section 7.2).
+
+Ground truth (nonce bits, iteration boundary times) is recorded exactly as
+the paper instruments its victim binary — for validation only; the attack
+never reads it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .._util import make_rng, spawn_rng
+from ..crypto import curve_by_name, generate_keypair, sign
+from ..errors import ConfigurationError
+from ..memsys.machine import Machine
+from .layout import VictimLayout
+
+
+@dataclass(frozen=True)
+class VictimConfig:
+    """Behavioral parameters of the victim service.
+
+    The defaults mirror the paper's measurements on Cloud Run: 9,700-cycle
+    ladder iterations (so zero-bit runs produce accesses 4,850 cycles
+    apart and a PSD peak near 0.41 MHz at 2 GHz), and ~25% of busy time
+    spent in the vulnerable code.
+    """
+
+    curve_name: str = "K-233"
+    iter_cycles: int = 9700
+    iter_jitter: int = 250
+    duty_cycle: float = 0.25
+    #: Idle gap between request sessions, as a fraction of session length.
+    idle_fraction: float = 0.1
+    #: Cycle period of working-set accesses outside the vulnerable code.
+    service_access_period: int = 20_000
+    #: Ladder/data decoy lines fetched per iteration.
+    decoy_accesses_per_iter: int = 2
+    #: When False, nonce bits are drawn directly (statistically identical
+    #: to a real signing) instead of running full ECDSA — vastly faster for
+    #: scanning experiments.  Real signing is used whenever signatures or
+    #: key recovery are needed.
+    real_signing: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        if self.iter_cycles <= 2 * self.iter_jitter:
+            raise ConfigurationError("iteration jitter too large for the period")
+
+    @property
+    def access_period_cycles(self) -> float:
+        """Expected period between monitored-line accesses (~iter/2)."""
+        return self.iter_cycles / 2.0
+
+
+@dataclass
+class SigningGroundTruth:
+    """Validation record for one signing (the paper's instrumentation)."""
+
+    nonce: Optional[int]
+    bits: List[int]
+    #: Iteration start (boundary) times, cycles; len == len(bits) + 1, the
+    #: final entry being the end of the last iteration.
+    boundaries: List[int]
+    start: int
+    end: int
+    message: Optional[bytes] = None
+    signature: object = None
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.bits)
+
+
+class EcdsaVictim:
+    """A victim container's workload on one core of a simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        core: int,
+        cfg: VictimConfig = VictimConfig(),
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= core < machine.cfg.cores:
+            raise ConfigurationError("victim core out of range")
+        self.machine = machine
+        self.core = core
+        self.cfg = cfg
+        self._rng = make_rng(("victim", seed))
+        self._layout_rng = spawn_rng(self._rng, "layout")
+        self._nonce_rng = spawn_rng(self._rng, "nonce")
+        self._sched_rng = spawn_rng(self._rng, "sched")
+        self.layout = VictimLayout(machine.new_address_space(), self._layout_rng)
+        self.curve = curve_by_name(cfg.curve_name)
+        self.keypair = generate_keypair(self.curve, spawn_rng(self._rng, "key"))
+        self.truths: List[SigningGroundTruth] = []
+        self._running = False
+
+    # -- Internals -------------------------------------------------------------
+
+    def _emit(self, when: int, line: int) -> None:
+        """Schedule one code/data fetch by the victim core."""
+        core = self.core
+        hier = self.machine.hierarchy
+        self.machine.schedule(when, lambda t: hier.access(core, line, t))
+
+    def _draw_nonce_bits(self, real: bool):
+        """(nonce, processed-bit sequence, message, signature) for a signing."""
+        if real:
+            message = self._nonce_rng.getrandbits(64).to_bytes(8, "big")
+            bits: List[int] = []
+            sig, k = sign(
+                self.keypair,
+                message,
+                self._nonce_rng,
+                observer=lambda i, b: bits.append(b),
+            )
+            return k, bits, message, sig
+        # Fast path: random bits with the distribution of a real nonce's
+        # ladder bit sequence (nonce uniform in [1, n)).
+        k = self._nonce_rng.randrange(1, self.curve.n)
+        n_iters = k.bit_length() - 1
+        bits = [(k >> i) & 1 for i in range(n_iters - 1, -1, -1)]
+        return k, bits, None, None
+
+    # -- Scheduling ------------------------------------------------------------
+
+    def schedule_signing(self, start: int, real: Optional[bool] = None) -> SigningGroundTruth:
+        """Schedule one full signing starting at ``start``; returns ground truth."""
+        real = self.cfg.real_signing if real is None else real
+        k, bits, message, sig = self._draw_nonce_bits(real)
+        cfg = self.cfg
+        rng = self._sched_rng
+        monitored = self.layout.monitored_line
+        decoys = self.layout.ladder_lines_physical() + self.layout.data_lines_physical()
+        t = start
+        boundaries = [t]
+        for bit in bits:
+            duration = cfg.iter_cycles + rng.randint(-cfg.iter_jitter, cfg.iter_jitter)
+            self._emit(t, monitored)
+            for d in range(cfg.decoy_accesses_per_iter):
+                line = decoys[(d + len(boundaries)) % len(decoys)]
+                self._emit(t + rng.randint(duration // 8, duration - duration // 8), line)
+            if bit == 0:
+                self._emit(t + duration // 2, monitored)
+            t += duration
+            boundaries.append(t)
+        # The loop condition is evaluated once more to exit, fetching the
+        # monitored line at the final iteration boundary.
+        if bits:
+            self._emit(t, monitored)
+        truth = SigningGroundTruth(
+            nonce=k,
+            bits=bits,
+            boundaries=boundaries,
+            start=start,
+            end=t,
+            message=message,
+            signature=sig,
+        )
+        self.truths.append(truth)
+        return truth
+
+    def schedule_session(self, start: int, real: Optional[bool] = None) -> int:
+        """Schedule one request session (preamble + signing + postamble).
+
+        The signing occupies ``duty_cycle`` of the session's busy time; the
+        rest is working-set traffic.  Returns the session end time.
+        """
+        cfg = self.cfg
+        rng = self._sched_rng
+        service = self.layout.service_lines_physical()
+        signing_est = self.cfg.iter_cycles * (self.curve.nonce_bits - 1)
+        other_total = int(signing_est * (1.0 - cfg.duty_cycle) / cfg.duty_cycle)
+        preamble = other_total // 2
+        t = start
+        while t < start + preamble:
+            self._emit(t, service[rng.randrange(len(service))])
+            t += cfg.service_access_period
+        truth = self.schedule_signing(start + preamble, real=real)
+        t = truth.end
+        postamble_end = truth.end + (other_total - preamble)
+        while t < postamble_end:
+            self._emit(t, service[rng.randrange(len(service))])
+            t += cfg.service_access_period
+        return postamble_end
+
+    def run_continuously(self, start: Optional[int] = None) -> None:
+        """Keep scheduling sessions back-to-back (with idle gaps) until stopped.
+
+        Sessions self-perpetuate through the machine's event queue, so the
+        victim stays active for as long as the attacker keeps the simulated
+        clock moving — like a service receiving a steady request stream.
+        """
+        self._running = True
+        first = self.machine.now if start is None else start
+
+        def _session(at: int) -> None:
+            if not self._running:
+                return
+            end = self.schedule_session(at)
+            gap = int((end - at) * self.cfg.idle_fraction)
+            self.machine.schedule(end + gap, _session)
+
+        self.machine.schedule(first, _session)
+
+    def stop(self) -> None:
+        """Stop scheduling further sessions (already-queued events still run)."""
+        self._running = False
+
+    # -- Derived quantities ------------------------------------------------------
+
+    def expected_peak_hz(self) -> float:
+        """Expected PSD peak frequency of the monitored line's accesses."""
+        return self.machine.clock_hz / self.cfg.access_period_cycles

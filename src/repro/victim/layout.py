@@ -1,0 +1,93 @@
+"""Memory layout of the vulnerable library (the paper's Figure 8b).
+
+The attacker is assumed to know the library's layout (publicly released
+binaries, loaded once at container start with a fixed VA->PA mapping), so
+the *page offset* of the monitored cache line is known; its physical frame
+— and hence its LLC/SF set — is not.
+
+The layout distinguishes:
+
+* the **monitored line** — the cache line whose per-iteration fetch pattern
+  encodes the nonce bit (the `else`-direction line of the instrumented
+  build: fetched at every iteration boundary, and again at the iteration
+  midpoint when the bit is 0);
+* **ladder working lines** — MAdd/MDouble code and field-element data
+  fetched every iteration at other page offsets (the WholeSys
+  false-positive sources of Section 7.2);
+* **service working set** — lines touched by request parsing and response
+  building (the non-vulnerable 75% of execution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..config import LINE_BYTES, LINES_PER_PAGE
+from ..errors import ConfigurationError
+from ..memsys.address import AddressSpace
+
+
+class VictimLayout:
+    """Concrete address assignment for the victim's code and data."""
+
+    def __init__(
+        self,
+        aspace: AddressSpace,
+        rng: random.Random,
+        code_pages: int = 4,
+        data_pages: int = 2,
+        ladder_lines: int = 4,
+        data_lines: int = 4,
+        service_lines: int = 16,
+    ) -> None:
+        if code_pages < 2 or data_pages < 1:
+            raise ConfigurationError("need at least 2 code pages and 1 data page")
+        self.aspace = aspace
+        self._code_pages = aspace.alloc_pages(code_pages)
+        self._data_pages = aspace.alloc_pages(data_pages)
+
+        # Distinct line offsets within a page, so the monitored line is the
+        # only victim line at its page offset (clean PageOffset scenario).
+        offsets = rng.sample(range(LINES_PER_PAGE), ladder_lines + data_lines + 1)
+        self.monitored_offset_lines = offsets[0]
+        self.monitored_va = self._code_pages[0] + offsets[0] * LINE_BYTES
+
+        self.ladder_vas: List[int] = []
+        for i in range(ladder_lines):
+            page = self._code_pages[1 + i % (code_pages - 1)]
+            self.ladder_vas.append(page + offsets[1 + i] * LINE_BYTES)
+
+        self.data_vas: List[int] = []
+        for i in range(data_lines):
+            page = self._data_pages[i % data_pages]
+            self.data_vas.append(page + offsets[1 + ladder_lines + i] * LINE_BYTES)
+
+        self.service_vas: List[int] = []
+        service_offsets = rng.sample(range(LINES_PER_PAGE), min(service_lines, LINES_PER_PAGE))
+        for i in range(service_lines):
+            page = self._code_pages[i % code_pages]
+            self.service_vas.append(
+                page + service_offsets[i % len(service_offsets)] * LINE_BYTES
+            )
+
+    # -- Physical views ------------------------------------------------------
+
+    @property
+    def monitored_line(self) -> int:
+        """Physical line address of the monitored cache line."""
+        return self.aspace.translate_line(self.monitored_va)
+
+    @property
+    def target_page_offset(self) -> int:
+        """Page offset (bytes) of the monitored line — known to the attacker."""
+        return self.monitored_va % 4096
+
+    def ladder_lines_physical(self) -> List[int]:
+        return [self.aspace.translate_line(va) for va in self.ladder_vas]
+
+    def data_lines_physical(self) -> List[int]:
+        return [self.aspace.translate_line(va) for va in self.data_vas]
+
+    def service_lines_physical(self) -> List[int]:
+        return [self.aspace.translate_line(va) for va in self.service_vas]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    cloud_run_noise,
+    no_noise,
+    skylake_sp_small,
+    tiny_machine,
+)
+from repro.core.context import AttackerContext
+from repro.memsys.machine import Machine
+
+
+@pytest.fixture
+def tiny() -> Machine:
+    """A minimal quiet machine for fast structural tests."""
+    return Machine(tiny_machine(), noise=no_noise(), seed=7)
+
+
+@pytest.fixture
+def quiet_machine() -> Machine:
+    """A small Skylake-like machine with no background noise."""
+    return Machine(skylake_sp_small(), noise=no_noise(), seed=7)
+
+
+@pytest.fixture
+def noisy_machine() -> Machine:
+    """A small Skylake-like machine with Cloud Run noise."""
+    return Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=7)
+
+
+@pytest.fixture
+def ctx(quiet_machine) -> AttackerContext:
+    """An attacker context on the quiet machine, thresholds calibrated."""
+    context = AttackerContext(quiet_machine, seed=3)
+    context.calibrate()
+    return context

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evset_defaults(self):
+        args = build_parser().parse_args(["evset"])
+        assert args.algo == "bins"
+        assert args.env == "cloud"
+        assert args.machine == "skylake-small"
+
+    def test_page_offset_accepts_hex(self):
+        args = build_parser().parse_args(["evset", "--page-offset", "0x3c0"])
+        assert args.page_offset == 0x3C0
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evset", "--algo", "magic"])
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evset", "--machine", "epyc"])
+
+
+class TestCommands:
+    def test_machines_lists(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "skylake-small" in out
+        assert "U_LLC=896" in out  # the full-scale preset's paper numbers
+
+    def test_noise_lists(self, capsys):
+        assert main(["noise"]) == 0
+        out = capsys.readouterr().out
+        assert "11.5" in out  # the paper's measured Cloud Run rate
+
+    def test_evset_runs_quiet(self, capsys):
+        rc = main([
+            "evset", "--env", "none", "--trials", "1", "--seed", "3",
+            "--budget-ms", "500",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "valid: 1/1" in out
+
+    def test_monitor_runs(self, capsys):
+        rc = main([
+            "monitor", "--env", "none", "--duration-us", "50", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "monitored one SF set" in out

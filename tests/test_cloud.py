@@ -1,0 +1,173 @@
+"""Tests for the cloud substrate: noise, tenants, and the FaaS model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import make_rng
+from repro.cloud import (
+    BackgroundNoise,
+    ContainerInstance,
+    FaaSPlatform,
+    Host,
+    STANDARD_TENANT_MIX,
+    TenantProfile,
+    aggregate_noise,
+)
+from repro.config import (
+    NoiseConfig,
+    cloud_run_noise,
+    no_noise,
+    tiny_machine,
+)
+from repro.errors import ConfigurationError
+from repro.memsys.machine import Machine
+
+
+class TestBackgroundNoise:
+    def test_disabled_when_zero(self):
+        noise = BackgroundNoise(no_noise(), 2.0, make_rng(0))
+        assert not noise.enabled
+
+    def test_enabled_for_cloud(self):
+        noise = BackgroundNoise(cloud_run_noise(), 2.0, make_rng(0))
+        assert noise.enabled
+
+    def test_expected_events(self):
+        noise = BackgroundNoise(cloud_run_noise(), 2.0, make_rng(0))
+        # 11.5/ms LLC + 0.8 * 11.5/ms SF over 2e6 cycles (1 ms).
+        assert noise.expected_events(2_000_000) == pytest.approx(
+            11.5 * 1.8, rel=1e-6
+        )
+
+    def test_reconcile_inserts_foreign_lines(self):
+        machine = Machine(
+            tiny_machine(), noise=cloud_run_noise().scaled(50), seed=1
+        )
+        hier = machine.hierarchy
+        machine.advance(2_000_000)
+        hier.noise_source.reconcile(hier, 5, machine.now)
+        assert hier.sf.occupancy(5) > 0 or hier.llc.occupancy(5) > 0
+        assert machine.noise.events > 0
+
+    def test_insertions_capped(self):
+        """A set untouched for ages gets at most ~3x ways insertions."""
+        machine = Machine(
+            tiny_machine(), noise=cloud_run_noise().scaled(1000), seed=2
+        )
+        hier = machine.hierarchy
+        machine.advance(200_000_000)
+        before = machine.noise.events
+        hier.noise_source.reconcile(hier, 3, machine.now)
+        applied = machine.noise.events - before
+        assert applied <= 3 * (hier.sf.ways + hier.llc.ways)
+
+    def test_rate_accuracy(self):
+        """Observed insertion rate matches the configured rate."""
+        cfg = NoiseConfig(name="x", llc_accesses_per_ms_per_set=100.0, sf_fraction=0.0)
+        machine = Machine(tiny_machine(), noise=cfg, seed=3)
+        hier = machine.hierarchy
+        total = 0
+        # Reconcile the same set every 20k cycles for 20 ms total.
+        for _ in range(2000):
+            machine.advance(20_000)
+            hier.noise_source.reconcile(hier, 9, machine.now)
+        # 100/ms * 20 ms = 2000 expected.
+        assert machine.noise.events == pytest.approx(2000, rel=0.15)
+
+
+class TestTenants:
+    def test_aggregate_adds_rates(self):
+        mix = [
+            (TenantProfile("a", 2.0, sf_fraction=1.0), 2),
+            (TenantProfile("b", 1.0, sf_fraction=0.0), 1),
+        ]
+        agg = aggregate_noise(mix)
+        assert agg.llc_accesses_per_ms_per_set == pytest.approx(5.0)
+        assert agg.sf_fraction == pytest.approx(0.8)
+
+    def test_standard_mix_matches_paper_rate(self):
+        agg = aggregate_noise(STANDARD_TENANT_MIX)
+        assert agg.llc_accesses_per_ms_per_set == pytest.approx(11.5, rel=0.01)
+
+    def test_empty_mix(self):
+        agg = aggregate_noise([])
+        assert agg.llc_accesses_per_ms_per_set == 0.0
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_noise([(TenantProfile("a", 1.0), -1)])
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantProfile("bad", -1.0)
+
+
+class TestFaaS:
+    def _host(self):
+        return Host("h0", tiny_machine(cores=2), no_noise(), seed=0)
+
+    def test_deploy_pins_cores(self):
+        host = self._host()
+        inst = host.deploy("attacker", cores=2)
+        assert len(inst.cores) == 2
+        assert host.free_cores() == 0
+
+    def test_deploy_over_capacity(self):
+        host = self._host()
+        host.deploy("a", cores=2)
+        with pytest.raises(ConfigurationError):
+            host.deploy("b", cores=1)
+
+    def test_release_frees_cores(self):
+        host = self._host()
+        inst = host.deploy("a", cores=2)
+        host.release(inst)
+        assert host.free_cores() == 2
+
+    def test_request_timeout(self):
+        host = self._host()
+        inst = host.deploy("a", cores=1, max_request_seconds=0.001)
+        inst.begin_request()
+        assert not inst.request_timed_out()
+        host.machine.advance(int(0.002 * host.machine.clock_hz))
+        assert inst.request_timed_out()
+
+    def test_billing_by_cpu_time(self):
+        host = self._host()
+        inst = host.deploy("a", cores=2, max_request_seconds=100)
+        inst.begin_request()
+        host.machine.advance(2_000_000)  # 1 ms
+        billed = inst.end_request()
+        assert billed == pytest.approx(0.002)  # 2 cores * 1 ms
+
+    def test_instance_lifetime(self):
+        host = self._host()
+        inst = host.deploy("a", cores=1, lifetime_seconds=0.001)
+        assert not inst.terminated()
+        host.machine.advance(int(0.002 * host.machine.clock_hz))
+        assert inst.terminated()
+
+    def test_platform_placement_and_colocation(self):
+        platform = FaaSPlatform(tiny_machine(cores=4), no_noise(), n_hosts=2, seed=1)
+        platform.launch("victim", instances=2, cores=2)
+        platform.launch("attacker", instances=2, cores=2)
+        pairs = platform.co_located("attacker", "victim")
+        for attacker, victim in pairs:
+            assert attacker.host is victim.host
+            assert set(attacker.cores).isdisjoint(victim.cores)
+
+    def test_launch_respects_capacity(self):
+        platform = FaaSPlatform(tiny_machine(cores=2), no_noise(), n_hosts=1, seed=0)
+        placed = platform.launch("svc", instances=5, cores=2)
+        assert len(placed) == 1
+
+    def test_remaining_request_cycles(self):
+        host = self._host()
+        inst = host.deploy("a", cores=1, max_request_seconds=1.0)
+        inst.begin_request()
+        host.machine.advance(1_000_000)
+        remaining = inst.remaining_request_cycles()
+        assert remaining == pytest.approx(
+            host.machine.clock_hz * 1.0 - 1_000_000, rel=1e-6
+        )

@@ -1,0 +1,187 @@
+"""Tests for machine/noise configuration and presets."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    LatencyConfig,
+    MACHINE_PRESETS,
+    MachineConfig,
+    NOISE_PRESETS,
+    NoiseConfig,
+    cloud_run_noise,
+    exposure_matched,
+    icelake_sp,
+    icelake_sp_small,
+    no_noise,
+    quiescent_local_noise,
+    skylake_sp,
+    skylake_sp_local,
+    skylake_sp_small,
+    skylake_sp_small_local,
+    tiny_machine,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_offset_and_index_bits(self):
+        geo = CacheGeometry("L2", ways=16, sets=1024)
+        assert geo.offset_bits == 6
+        assert geo.index_bits == 10
+
+    def test_capacity(self):
+        geo = CacheGeometry("LLC", ways=11, sets=2048, slices=28)
+        assert geo.capacity_bytes == 11 * 2048 * 28 * 64
+
+    def test_set_index_masks_low_bits(self):
+        geo = CacheGeometry("X", ways=4, sets=256)
+        assert geo.set_index(0x12345) == (0x12345 >> 6) & 255
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("X", ways=4, sets=100)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("X", ways=0, sets=64)
+
+    def test_uncertainty_skylake_l2(self):
+        """Real Skylake-SP: U_L2 = 16 (paper Section 2.2.1)."""
+        geo = CacheGeometry("L2", ways=16, sets=1024)
+        assert geo.uncertainty() == 16
+
+    def test_uncertainty_skylake_llc(self):
+        """Real 28-slice Skylake-SP: U_LLC = 2^5 * 28 = 896."""
+        geo = CacheGeometry("LLC", ways=11, sets=2048, slices=28)
+        assert geo.uncertainty() == 896
+
+    def test_uncertainty_fully_controllable(self):
+        geo = CacheGeometry("L1", ways=8, sets=64)
+        assert geo.uncertainty() == 1
+
+
+class TestMachinePresets:
+    def test_skylake_paper_numbers(self):
+        """Evset counts must match the paper: 896 / 57,344."""
+        cfg = skylake_sp()
+        assert cfg.u_l2 == 16
+        assert cfg.u_llc == 896
+        assert cfg.evsets_page_offset == 896
+        assert cfg.evsets_whole_sys == 57_344
+
+    def test_skylake_local_paper_numbers(self):
+        """22-slice local machine: 704 / 45,056 (Table 4 caption)."""
+        cfg = skylake_sp_local()
+        assert cfg.evsets_page_offset == 704
+        assert cfg.evsets_whole_sys == 45_056
+
+    def test_icelake_higher_associativity(self):
+        sky, ice = skylake_sp(), icelake_sp()
+        assert ice.sf.ways > sky.sf.ways
+        assert ice.l2.ways > sky.l2.ways
+
+    @pytest.mark.parametrize("factory", list(MACHINE_PRESETS.values()))
+    def test_all_presets_valid(self, factory):
+        cfg = factory()
+        assert cfg.u_llc >= 1
+        assert cfg.sf.ways > cfg.llc.ways
+        assert cfg.describe()
+
+    def test_small_preserves_structure(self):
+        cfg = skylake_sp_small()
+        # L2 index bits must be a subset of LLC index bits.
+        l2_top = cfg.l2.offset_bits + cfg.l2.index_bits
+        llc_top = cfg.llc.offset_bits + cfg.llc.index_bits
+        assert l2_top <= llc_top
+        assert cfg.u_l2 > 1
+        assert cfg.u_llc > cfg.u_l2
+
+    def test_small_local_differs_in_slices(self):
+        assert (
+            skylake_sp_small_local().llc.slices != skylake_sp_small().llc.slices
+        )
+
+    def test_icelake_small_higher_associativity(self):
+        assert icelake_sp_small().sf.ways > skylake_sp_small().sf.ways
+
+    def test_rejects_sf_not_deeper_than_llc(self):
+        cfg = tiny_machine()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(
+                cfg, sf=CacheGeometry("SF", ways=4, sets=128, slices=2)
+            )
+
+    def test_rejects_l2_index_superset(self):
+        cfg = tiny_machine()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(cfg, l2=CacheGeometry("L2", ways=4, sets=4096))
+
+    def test_cycle_conversions_roundtrip(self):
+        cfg = skylake_sp_small()
+        assert cfg.cycles_to_seconds(cfg.seconds_to_cycles(0.5)) == pytest.approx(0.5)
+
+
+class TestLatencyConfig:
+    def test_defaults_ordered(self):
+        lat = LatencyConfig()
+        assert lat.l1_hit < lat.l2_hit < lat.llc_hit < lat.dram
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(l1_hit=50, l2_hit=14)
+
+
+class TestNoiseConfig:
+    def test_rate_per_cycle(self):
+        noise = NoiseConfig(name="x", llc_accesses_per_ms_per_set=11.5)
+        # 11.5/ms at 2 GHz = 11.5 per 2e6 cycles.
+        assert noise.rate_per_cycle(2.0) == pytest.approx(11.5 / 2e6)
+
+    def test_scaled(self):
+        noise = cloud_run_noise().scaled(2.0)
+        assert noise.llc_accesses_per_ms_per_set == pytest.approx(23.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(name="x", llc_accesses_per_ms_per_set=-1.0)
+
+    def test_presets_ordered(self):
+        assert (
+            quiescent_local_noise().llc_accesses_per_ms_per_set
+            < cloud_run_noise().llc_accesses_per_ms_per_set
+        )
+
+    def test_paper_rates(self):
+        """The measured Figure 2 rates: 11.5 cloud, 0.29 local."""
+        assert cloud_run_noise().llc_accesses_per_ms_per_set == 11.5
+        assert quiescent_local_noise().llc_accesses_per_ms_per_set == 0.29
+
+    def test_no_noise_is_zero(self):
+        assert no_noise().llc_accesses_per_ms_per_set == 0.0
+
+    def test_preset_registry(self):
+        assert set(NOISE_PRESETS) == {"local", "cloud", "cloud-quiet", "none"}
+
+
+class TestExposureMatching:
+    def test_full_scale_unchanged(self):
+        base = cloud_run_noise()
+        assert exposure_matched(base, skylake_sp()) is base
+
+    def test_small_scaled_up(self):
+        base = cloud_run_noise()
+        scaled = exposure_matched(base, skylake_sp_small())
+        assert scaled.llc_accesses_per_ms_per_set > base.llc_accesses_per_ms_per_set
+
+    def test_sqrt_exponent(self):
+        base = cloud_run_noise()
+        full = exposure_matched(base, skylake_sp_small(), exponent=1.0)
+        half = exposure_matched(base, skylake_sp_small(), exponent=0.5)
+        ratio_full = full.llc_accesses_per_ms_per_set / base.llc_accesses_per_ms_per_set
+        ratio_half = half.llc_accesses_per_ms_per_set / base.llc_accesses_per_ms_per_set
+        assert ratio_half == pytest.approx(ratio_full**0.5)

@@ -1,0 +1,129 @@
+"""Tests for Koblitz curve construction and derived group parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.curves import (
+    curve_by_name,
+    frobenius_order,
+    is_probable_prime,
+)
+from repro.crypto.ec2m import point_add, scalar_mult
+from repro.errors import CryptoError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(97)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(91)  # 7 * 13
+
+    def test_large_composite(self):
+        assert not is_probable_prime((1 << 89) - 1 + 2)  # even
+
+    def test_mersenne_prime(self):
+        assert is_probable_prime((1 << 127) - 1)
+
+
+class TestFrobeniusOrder:
+    def test_base_field_counts(self):
+        """#E(GF(2)) computed by hand: 4 for a=0, 2 for a=1."""
+        assert frobenius_order(1, 0) == 4
+        assert frobenius_order(1, 1) == 2
+
+    def test_hasse_bound(self):
+        """|#E - (2^m + 1)| <= 2 * 2^(m/2) for all curve orders."""
+        for m, a in [(17, 0), (17, 1), (163, 1), (233, 0)]:
+            order = frobenius_order(m, a)
+            assert abs(order - ((1 << m) + 1)) <= 2 * (1 << ((m + 1) // 2))
+
+    def test_cofactor_divides(self):
+        assert frobenius_order(233, 0) % 4 == 0
+        assert frobenius_order(163, 1) % 2 == 0
+
+    def test_rejects_bad_a(self):
+        with pytest.raises(CryptoError):
+            frobenius_order(17, 2)
+
+
+class TestCurveConstruction:
+    @pytest.mark.parametrize("name", ["K-TEST", "K-163", "K-233"])
+    def test_generator_on_curve(self, name):
+        curve = curve_by_name(name)
+        assert curve.is_on_curve(curve.generator)
+
+    @pytest.mark.parametrize("name", ["K-TEST", "K-163", "K-233"])
+    def test_subgroup_order_prime(self, name):
+        curve = curve_by_name(name)
+        assert is_probable_prime(curve.n)
+
+    @pytest.mark.parametrize("name", ["K-TEST", "K-163"])
+    def test_generator_has_order_n(self, name):
+        curve = curve_by_name(name)
+        assert scalar_mult(curve, curve.n, curve.generator) is None
+        assert scalar_mult(curve, 1, curve.generator) == curve.generator
+
+    def test_order_times_cofactor(self):
+        curve = curve_by_name("K-233")
+        assert curve.n * curve.h == frobenius_order(233, 0)
+
+    def test_k233_nonce_width(self):
+        assert curve_by_name("K-233").nonce_bits in (231, 232, 233)
+
+    def test_unknown_curve(self):
+        with pytest.raises(CryptoError):
+            curve_by_name("P-256")
+
+    def test_curves_cached(self):
+        assert curve_by_name("K-163") is curve_by_name("K-163")
+
+    def test_decompress_roundtrip(self):
+        curve = curve_by_name("K-TEST")
+        gx, gy = curve.generator
+        point = curve.decompress_x(gx)
+        # Either the generator or its negation.
+        assert point in ((gx, gy), (gx, gx ^ gy))
+
+    def test_infinity_on_curve(self):
+        assert curve_by_name("K-TEST").is_on_curve(None)
+
+    def test_random_point_not_on_curve_detected(self):
+        curve = curve_by_name("K-TEST")
+        gx, gy = curve.generator
+        assert not curve.is_on_curve((gx, gy ^ 1 ^ (1 << 3)))
+
+
+class TestGroupLaws:
+    def test_addition_closes(self):
+        curve = curve_by_name("K-TEST")
+        g = curve.generator
+        p = g
+        for _ in range(20):
+            p = point_add(curve, p, g)
+            assert curve.is_on_curve(p)
+
+    def test_commutative(self):
+        curve = curve_by_name("K-TEST")
+        g = curve.generator
+        p2 = scalar_mult(curve, 2, g)
+        p5 = scalar_mult(curve, 5, g)
+        assert point_add(curve, p2, p5) == point_add(curve, p5, p2)
+
+    def test_associative(self):
+        curve = curve_by_name("K-TEST")
+        g = curve.generator
+        a = scalar_mult(curve, 3, g)
+        b = scalar_mult(curve, 7, g)
+        c = scalar_mult(curve, 11, g)
+        assert point_add(curve, point_add(curve, a, b), c) == point_add(
+            curve, a, point_add(curve, b, c)
+        )
+
+    def test_scalar_homomorphism(self):
+        curve = curve_by_name("K-TEST")
+        g = curve.generator
+        assert scalar_mult(curve, 9, g) == point_add(
+            curve, scalar_mult(curve, 4, g), scalar_mult(curve, 5, g)
+        )

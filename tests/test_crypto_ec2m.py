@@ -1,0 +1,116 @@
+"""Tests for point arithmetic and the vulnerable Montgomery ladder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.curves import curve_by_name
+from repro.crypto.ec2m import (
+    ladder_scalar_mult,
+    ladder_steps,
+    point_add,
+    point_double,
+    point_neg,
+    scalar_mult,
+)
+from repro.errors import CryptoError
+
+KTEST = curve_by_name("K-TEST")
+K163 = curve_by_name("K-163")
+
+
+class TestAffineOps:
+    def test_add_identity(self):
+        g = KTEST.generator
+        assert point_add(KTEST, g, None) == g
+        assert point_add(KTEST, None, g) == g
+
+    def test_add_inverse_is_infinity(self):
+        g = KTEST.generator
+        assert point_add(KTEST, g, point_neg(KTEST, g)) is None
+
+    def test_neg_involution(self):
+        g = KTEST.generator
+        assert point_neg(KTEST, point_neg(KTEST, g)) == g
+
+    def test_double_matches_add(self):
+        g = KTEST.generator
+        assert point_double(KTEST, g) == point_add(KTEST, g, g)
+
+    def test_double_infinity(self):
+        assert point_double(KTEST, None) is None
+
+    def test_double_order2_point(self):
+        # (0, sqrt(b)) has order 2 on a binary curve.
+        p = KTEST.decompress_x(0)
+        assert point_double(KTEST, p) is None
+
+    def test_scalar_zero(self):
+        assert scalar_mult(KTEST, 0, KTEST.generator) is None
+
+    def test_scalar_negative(self):
+        g = KTEST.generator
+        assert scalar_mult(KTEST, -3, g) == point_neg(
+            KTEST, scalar_mult(KTEST, 3, g)
+        )
+
+
+class TestLadder:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 100, 12345])
+    def test_matches_double_and_add(self, k):
+        g = KTEST.generator
+        assert ladder_scalar_mult(KTEST, k, g) == scalar_mult(KTEST, k, g)
+
+    def test_matches_on_k163(self):
+        g = K163.generator
+        for k in (5, 0xDEADBEEF, K163.n - 1):
+            assert ladder_scalar_mult(K163, k, g) == scalar_mult(K163, k, g)
+
+    def test_order_gives_infinity(self):
+        assert ladder_scalar_mult(KTEST, KTEST.n, KTEST.generator) is None
+
+    def test_zero_scalar(self):
+        assert ladder_scalar_mult(KTEST, 0, KTEST.generator) is None
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(CryptoError):
+            ladder_scalar_mult(KTEST, -1, KTEST.generator)
+
+    @given(st.integers(1, (1 << 17) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_ladder_equals_reference(self, k):
+        g = KTEST.generator
+        assert ladder_scalar_mult(KTEST, k, g) == scalar_mult(KTEST, k, g)
+
+
+class TestLadderLeak:
+    """The secret-dependent structure the attack exploits (Figure 8a)."""
+
+    def test_observer_sees_all_bits_in_order(self):
+        k = 0b1011001
+        _, bits = ladder_steps(KTEST, k, KTEST.generator)
+        # The ladder processes bits below the (implicit) top bit, MSB first.
+        assert bits == [0, 1, 1, 0, 0, 1]
+
+    def test_iteration_count_is_bitlength_minus_one(self):
+        for k in (1, 2, 0b101, 0xFFFF):
+            _, bits = ladder_steps(KTEST, k, KTEST.generator)
+            assert len(bits) == max(0, k.bit_length() - 1)
+
+    def test_observer_reconstructs_scalar(self):
+        """Full bit recovery = full nonce recovery (the attack's endgame)."""
+        k = 0x1A2B3
+        _, bits = ladder_steps(KTEST, k, KTEST.generator)
+        reconstructed = 1
+        for bit in bits:
+            reconstructed = (reconstructed << 1) | bit
+        assert reconstructed == k
+
+    def test_observer_exceptions_not_swallowed(self):
+        def boom(i, b):
+            raise RuntimeError("observer failed")
+
+        with pytest.raises(RuntimeError):
+            ladder_scalar_mult(KTEST, 12345, KTEST.generator, observer=boom)

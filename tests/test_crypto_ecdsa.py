@@ -1,0 +1,125 @@
+"""Tests for ECDSA over binary curves and the nonce-leak identities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import make_rng
+from repro.crypto.curves import curve_by_name
+from repro.crypto.ecdsa import (
+    generate_keypair,
+    hash_to_int,
+    recover_nonce,
+    recover_private_key,
+    sign,
+    sign_with_nonce,
+    verify,
+)
+from repro.errors import CryptoError
+
+KTEST = curve_by_name("K-TEST")
+K163 = curve_by_name("K-163")
+
+
+@pytest.fixture(scope="module")
+def keypair163():
+    return generate_keypair(K163, make_rng(11))
+
+
+class TestKeygen:
+    def test_private_in_range(self):
+        kp = generate_keypair(KTEST, make_rng(1))
+        assert 1 <= kp.d < KTEST.n
+
+    def test_public_on_curve(self):
+        kp = generate_keypair(KTEST, make_rng(2))
+        assert KTEST.is_on_curve(kp.public_point)
+
+    def test_deterministic_from_rng(self):
+        a = generate_keypair(KTEST, make_rng(5))
+        b = generate_keypair(KTEST, make_rng(5))
+        assert a.d == b.d
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair163):
+        sig, k = sign(keypair163, b"hello world", make_rng(3))
+        assert verify(K163, keypair163.public_point, b"hello world", sig)
+
+    def test_wrong_message_fails(self, keypair163):
+        sig, _ = sign(keypair163, b"msg", make_rng(4))
+        assert not verify(K163, keypair163.public_point, b"other", sig)
+
+    def test_wrong_key_fails(self, keypair163):
+        other = generate_keypair(K163, make_rng(99))
+        sig, _ = sign(keypair163, b"msg", make_rng(5))
+        assert not verify(K163, other.public_point, b"msg", sig)
+
+    def test_tampered_signature_fails(self, keypair163):
+        sig, _ = sign(keypair163, b"msg", make_rng(6))
+        from repro.crypto.ecdsa import EcdsaSignature
+
+        bad = EcdsaSignature(sig.r, (sig.s + 1) % K163.n)
+        assert not verify(K163, keypair163.public_point, b"msg", bad)
+
+    def test_out_of_range_rejected(self, keypair163):
+        from repro.crypto.ecdsa import EcdsaSignature
+
+        assert not verify(
+            K163, keypair163.public_point, b"m", EcdsaSignature(0, 1)
+        )
+        assert not verify(
+            K163, keypair163.public_point, b"m", EcdsaSignature(1, K163.n)
+        )
+
+    def test_explicit_nonce_rejected_out_of_range(self, keypair163):
+        with pytest.raises(CryptoError):
+            sign_with_nonce(keypair163, b"m", 0)
+        with pytest.raises(CryptoError):
+            sign_with_nonce(keypair163, b"m", K163.n)
+
+    def test_nonce_changes_signature(self, keypair163):
+        s1 = sign_with_nonce(keypair163, b"m", 1234567)
+        s2 = sign_with_nonce(keypair163, b"m", 7654321)
+        assert s1 != s2
+
+
+class TestHashToInt:
+    def test_truncated_to_order_bits(self):
+        e = hash_to_int(b"x" * 100, KTEST)
+        assert e.bit_length() <= KTEST.n.bit_length()
+
+    def test_deterministic(self):
+        assert hash_to_int(b"abc", K163) == hash_to_int(b"abc", K163)
+
+
+class TestNonceLeakEndgame:
+    """One known nonce reveals the private key — why the leak is fatal."""
+
+    def test_recover_private_key(self, keypair163):
+        message = b"pay $100 to mallory"
+        sig, k = sign(keypair163, message, make_rng(7))
+        assert recover_private_key(K163, message, sig, k) == keypair163.d
+
+    def test_recover_nonce_ground_truth(self, keypair163):
+        message = b"request"
+        sig, k = sign(keypair163, message, make_rng(8))
+        assert recover_nonce(K163, message, sig, keypair163.d) == k
+
+    def test_recovered_key_can_forge(self, keypair163):
+        message = b"original"
+        sig, k = sign(keypair163, message, make_rng(9))
+        stolen_d = recover_private_key(K163, message, sig, k)
+        from repro.crypto.ecdsa import EcdsaKeyPair
+
+        forged_keypair = EcdsaKeyPair(
+            K163, stolen_d, keypair163.qx, keypair163.qy
+        )
+        forged, _ = sign(forged_keypair, b"forged payment", make_rng(10))
+        assert verify(K163, keypair163.public_point, b"forged payment", forged)
+
+    def test_wrong_nonce_gives_wrong_key(self, keypair163):
+        message = b"x"
+        sig, k = sign(keypair163, message, make_rng(12))
+        wrong = recover_private_key(K163, message, sig, (k + 1) % K163.n or 1)
+        assert wrong != keypair163.d

@@ -1,0 +1,184 @@
+"""Tests for GF(2^m) arithmetic, including hypothesis-driven field laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.crypto.gf2m import GF2m
+from repro.errors import CryptoError
+
+#: Small field for exhaustive-ish property checks: x^17 + x^3 + 1.
+F17 = GF2m(17, (3,))
+#: The K-233 field: x^233 + x^74 + 1.
+F233 = GF2m(233, (74,))
+
+elements17 = st.integers(0, (1 << 17) - 1)
+
+
+class TestConstruction:
+    def test_poly_encoding(self):
+        assert F17.poly == (1 << 17) | (1 << 3) | 1
+
+    def test_rejects_small_degree(self):
+        with pytest.raises(CryptoError):
+            GF2m(1, ())
+
+    def test_rejects_bad_terms(self):
+        with pytest.raises(CryptoError):
+            GF2m(17, (17,))
+        with pytest.raises(CryptoError):
+            GF2m(17, (0,))
+
+    def test_equality_and_hash(self):
+        assert GF2m(17, (3,)) == F17
+        assert hash(GF2m(17, (3,))) == hash(F17)
+        assert GF2m(233, (74,)) != F17
+
+    def test_reduction_poly_irreducible_f17(self):
+        """x^(2^m) == x mod f is necessary for irreducibility (m prime)."""
+        x = 2  # the polynomial "x"
+        acc = x
+        for _ in range(17):
+            acc = F17.sqr(acc)
+        assert acc == x
+
+    def test_reduction_poly_irreducible_f233(self):
+        x = 2
+        acc = x
+        for _ in range(233):
+            acc = F233.sqr(acc)
+        assert acc == x
+
+
+class TestBasicOps:
+    def test_add_is_xor(self):
+        assert GF2m.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_identity(self):
+        assert F17.mul(1, 12345) == 12345
+
+    def test_mul_zero(self):
+        assert F17.mul(0, 999) == 0
+
+    def test_known_small_product(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2).
+        assert F17.mul(0b11, 0b11) == 0b101
+
+    def test_sqr_matches_mul(self):
+        rng = make_rng(1)
+        for _ in range(50):
+            a = F17.random_element(rng)
+            assert F17.sqr(a) == F17.mul(a, a)
+
+    def test_sqr_matches_mul_big_field(self):
+        rng = make_rng(2)
+        for _ in range(10):
+            a = F233.random_element(rng)
+            assert F233.sqr(a) == F233.mul(a, a)
+
+    def test_inv_roundtrip(self):
+        rng = make_rng(3)
+        for _ in range(30):
+            a = F17.random_element(rng) or 1
+            assert F17.mul(a, F17.inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(CryptoError):
+            F17.inv(0)
+
+    def test_div(self):
+        rng = make_rng(4)
+        a, b = F17.random_element(rng), F17.random_element(rng) or 1
+        assert F17.mul(F17.div(a, b), b) == a
+
+    def test_pow_small(self):
+        a = 0b110
+        assert F17.pow(a, 0) == 1
+        assert F17.pow(a, 1) == a
+        assert F17.pow(a, 3) == F17.mul(F17.mul(a, a), a)
+
+    def test_pow_negative_is_inverse_power(self):
+        a = 0x1234 & ((1 << 17) - 1)
+        assert F17.mul(F17.pow(a, -2), F17.pow(a, 2)) == 1
+
+    def test_fermat(self):
+        """a^(2^m - 1) == 1 for a != 0."""
+        rng = make_rng(5)
+        for _ in range(10):
+            a = F17.random_element(rng) or 1
+            assert F17.pow(a, (1 << 17) - 1) == 1
+
+
+class TestQuadratics:
+    def test_trace_is_binary(self):
+        rng = make_rng(6)
+        assert all(F17.trace(F17.random_element(rng)) in (0, 1) for _ in range(50))
+
+    def test_trace_linear(self):
+        rng = make_rng(7)
+        for _ in range(30):
+            a, b = F17.random_element(rng), F17.random_element(rng)
+            assert F17.trace(a ^ b) == F17.trace(a) ^ F17.trace(b)
+
+    def test_solve_quadratic_roundtrip(self):
+        rng = make_rng(8)
+        solved = 0
+        for _ in range(60):
+            c = F17.random_element(rng)
+            if F17.trace(c) != 0:
+                continue
+            z0, z1 = F17.solve_quadratic(c)
+            assert F17.sqr(z0) ^ z0 == c
+            assert F17.sqr(z1) ^ z1 == c
+            assert z0 ^ z1 == 1
+            solved += 1
+        assert solved > 10
+
+    def test_solve_quadratic_no_solution(self):
+        rng = make_rng(9)
+        for _ in range(200):
+            c = F17.random_element(rng)
+            if F17.trace(c) == 1:
+                with pytest.raises(CryptoError):
+                    F17.solve_quadratic(c)
+                break
+        else:
+            pytest.fail("never found trace-1 element")
+
+    def test_half_trace_requires_odd_m(self):
+        f = GF2m(4, (1,))
+        with pytest.raises(CryptoError):
+            f.half_trace(3)
+
+
+class TestFieldLaws:
+    @given(elements17, elements17)
+    @settings(max_examples=80, deadline=None)
+    def test_property_mul_commutative(self, a, b):
+        assert F17.mul(a, b) == F17.mul(b, a)
+
+    @given(elements17, elements17, elements17)
+    @settings(max_examples=80, deadline=None)
+    def test_property_mul_associative(self, a, b, c):
+        assert F17.mul(F17.mul(a, b), c) == F17.mul(a, F17.mul(b, c))
+
+    @given(elements17, elements17, elements17)
+    @settings(max_examples=80, deadline=None)
+    def test_property_distributive(self, a, b, c):
+        assert F17.mul(a, b ^ c) == F17.mul(a, b) ^ F17.mul(a, c)
+
+    @given(elements17)
+    @settings(max_examples=80, deadline=None)
+    def test_property_frobenius_additive(self, a):
+        """(a + b)^2 = a^2 + b^2 — squaring is linear in GF(2^m)."""
+        b = 0x1F00F
+        assert F17.sqr(a ^ b) == F17.sqr(a) ^ F17.sqr(b)
+
+    @given(elements17)
+    @settings(max_examples=60, deadline=None)
+    def test_property_results_in_field(self, a):
+        assert F17.is_element(F17.mul(a, 0x1ABCD))
+        assert F17.is_element(F17.sqr(a))

@@ -1,0 +1,188 @@
+"""Tests for LLL reduction and Hidden-Number-Problem key recovery."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro._util import make_rng
+from repro.crypto.curves import curve_by_name
+from repro.crypto.ecdsa import generate_keypair, sign
+from repro.crypto.hnp import (
+    HnpSample,
+    leading_bits_from_extraction,
+    recover_private_key_hnp,
+    sample_from_signature,
+    samples_needed,
+)
+from repro.crypto.lattice import lll_reduce, shortest_vector
+from repro.errors import CryptoError
+
+KTEST = curve_by_name("K-TEST")
+
+
+def norm2(v):
+    return sum(x * x for x in v)
+
+
+class TestLLL:
+    def test_identity_unchanged(self):
+        basis = [[1, 0], [0, 1]]
+        assert sorted(lll_reduce(basis)) == sorted(basis)
+
+    def test_classic_example(self):
+        """Wikipedia's worked example reduces to short vectors."""
+        basis = [[1, 1, 1], [-1, 0, 2], [3, 5, 6]]
+        reduced = lll_reduce(basis)
+        norms = sorted(norm2(v) for v in reduced)
+        assert norms[0] <= 2  # contains (0,1,0) or similar
+
+    def test_preserves_determinant_up_to_sign(self):
+        """2x2: |det| is a lattice invariant."""
+        basis = [[201, 37], [1648, 297]]
+        reduced = lll_reduce(basis)
+        det0 = basis[0][0] * basis[1][1] - basis[0][1] * basis[1][0]
+        det1 = reduced[0][0] * reduced[1][1] - reduced[0][1] * reduced[1][0]
+        assert abs(det0) == abs(det1)
+
+    def test_finds_short_vector_with_planted_structure(self):
+        """An HNP-shaped lattice with a planted short vector yields it."""
+        rng = make_rng(7)
+        q = (1 << 61) - 1
+        short = [rng.randint(-50, 50) for _ in range(4)]
+        # Square basis: q*e_i rows plus one row congruent to `short` mod q
+        # carrying a unit marker column (as the HNP embedding does).
+        basis = [
+            [q if i == j else 0 for j in range(5)] for i in range(4)
+        ]
+        basis.append([s + q * rng.randint(1, 5) for s in short] + [1])
+        reduced = lll_reduce(basis)
+        best = min(norm2(v) for v in reduced if any(v))
+        assert best <= norm2(short) + 1
+
+    def test_shortest_vector_helper(self):
+        # The lattice {a(7,0)+b(3,1)}'s true minimum is (1,-2), norm 5.
+        v = shortest_vector([[7, 0], [3, 1]])
+        assert norm2(v) == 5
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(CryptoError):
+            lll_reduce([[1, 0], [0, 1]], delta=Fraction(1, 8))
+
+    def test_dependent_rows_rejected(self):
+        with pytest.raises(CryptoError):
+            lll_reduce([[1, 2], [2, 4]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(CryptoError):
+            lll_reduce([[1, 2], [3]])
+
+    def test_empty(self):
+        assert lll_reduce([]) == []
+
+
+def collect_samples(curve, keypair, n_known, count, seed=9):
+    """HNP samples with a fixed unknown-suffix width (uniform bound).
+
+    Nonces vary in bit length (the subgroup order need not sit just under
+    a power of two), so the *shift* is fixed and the number of known bits
+    adapts per sample: n_known_i = bitlen_i - shift.
+    """
+    rng = random.Random(seed)
+    shift = curve.n.bit_length() - n_known
+    samples = []
+    while len(samples) < count:
+        msg = rng.getrandbits(64).to_bytes(8, "big")
+        sig, k = sign(keypair, msg, rng)
+        bitlen = k.bit_length()
+        if bitlen <= shift:
+            continue  # nonce too short to expose any known bits; skip
+        samples.append(
+            sample_from_signature(
+                curve, msg, sig, k >> shift, bitlen - shift,
+                nonce_bits=bitlen,
+            )
+        )
+    return samples
+
+
+class TestHnp:
+    def test_sample_relation_holds(self):
+        """b = u + t*d (mod q) with b below the bound, by construction."""
+        rng = random.Random(3)
+        kp = generate_keypair(KTEST, rng)
+        msg = b"check"
+        sig, k = sign(kp, msg, rng)
+        bits = k.bit_length()
+        n_known = 5
+        sample = sample_from_signature(
+            KTEST, msg, sig, k >> (bits - n_known), n_known, nonce_bits=bits
+        )
+        b = (sample.u + sample.t * kp.d) % KTEST.n
+        assert b == k - ((k >> (bits - n_known)) << (bits - n_known))
+        assert 0 <= b < sample.bound
+
+    def test_recovers_key_ktest(self):
+        rng = random.Random(4)
+        kp = generate_keypair(KTEST, rng)
+        samples = collect_samples(KTEST, kp, n_known=6, count=6)
+        d = recover_private_key_hnp(KTEST, samples, kp.public_point)
+        assert d == kp.d
+
+    def test_fails_gracefully_with_too_few_bits(self):
+        rng = random.Random(5)
+        kp = generate_keypair(KTEST, rng)
+        samples = collect_samples(KTEST, kp, n_known=1, count=3, seed=11)
+        assert recover_private_key_hnp(KTEST, samples, kp.public_point) in (
+            None,
+            kp.d,  # tiny curve: may still get lucky
+        )
+
+    def test_requires_uniform_bounds(self):
+        with pytest.raises(CryptoError):
+            recover_private_key_hnp(
+                KTEST,
+                [HnpSample(1, 1, 4), HnpSample(1, 1, 8)],
+                KTEST.generator,
+            )
+
+    def test_requires_samples(self):
+        with pytest.raises(CryptoError):
+            recover_private_key_hnp(KTEST, [], KTEST.generator)
+
+    def test_samples_needed_scales(self):
+        assert samples_needed(KTEST, 4) > samples_needed(KTEST, 8)
+        with pytest.raises(CryptoError):
+            samples_needed(KTEST, 0)
+
+
+class TestLeadingBits:
+    def test_prefix_with_implicit_one(self):
+        value, n = leading_bits_from_extraction([0, 1, 1, 0])
+        assert (value, n) == (0b10110, 5)
+
+    def test_truncates_to_max(self):
+        value, n = leading_bits_from_extraction([1] * 100, max_bits=7)
+        assert n == 8
+        assert value == 0b11111111
+
+    def test_empty_extraction_gives_leading_one(self):
+        assert leading_bits_from_extraction([]) == (1, 1)
+
+
+@pytest.mark.slow
+class TestHnpK163:
+    def test_recovers_key_k163(self):
+        """Full-scale HNP: 163-bit key from 24 known bits x 10 signatures.
+
+        (Kept at lattice dimension 12 so the pure-Python LLL stays in the
+        seconds range on a single-core machine.)
+        """
+        curve = curve_by_name("K-163")
+        rng = random.Random(6)
+        kp = generate_keypair(curve, rng)
+        samples = collect_samples(curve, kp, n_known=24, count=10, seed=21)
+        d = recover_private_key_hnp(curve, samples, kp.public_point)
+        assert d == kp.d

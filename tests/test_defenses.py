@@ -1,0 +1,137 @@
+"""Tests for the way-partitioning defense (and that it stops the attack)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import make_rng
+from repro.config import no_noise, skylake_sp_small, tiny_machine
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.monitor import ParallelProbing, monitor_set
+from repro.defenses import WayPartitionedCache, apply_way_partitioning
+from repro.defenses.partition import OTHER_DOMAIN
+from repro.errors import ConfigurationError
+from repro.memsys.machine import Machine
+
+
+def make_partitioned_cache(parts=None):
+    parts = parts or {"a": 4, "b": 4, OTHER_DOMAIN: 4}
+    domains = {0: "a", 1: "a", 2: "b", 3: "b"}
+    return WayPartitionedCache(
+        "SF", 64, "lru", make_rng(0), parts,
+        lambda owner: domains.get(owner, OTHER_DOMAIN),
+    )
+
+
+class TestWayPartitionedCache:
+    def test_total_ways(self):
+        cache = make_partitioned_cache()
+        assert cache.ways == 12
+
+    def test_requires_other_domain(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioned_cache({"a": 6, "b": 6})
+
+    def test_insert_lookup_roundtrip(self):
+        cache = make_partitioned_cache()
+        cache.insert(3, 100, owner=0)
+        assert cache.lookup(3, 100)
+        assert cache.owner_of(3, 100) == 0
+
+    def test_cross_domain_no_eviction(self):
+        """Domain b's insertions never evict domain a's lines."""
+        cache = make_partitioned_cache()
+        for tag in range(4):
+            cache.insert(0, tag, owner=0)  # fill domain a's 4 ways
+        for tag in range(100, 130):
+            cache.insert(0, tag, owner=2)  # hammer domain b
+        assert all(cache.contains(0, t) for t in range(4))
+
+    def test_within_domain_eviction(self):
+        cache = make_partitioned_cache()
+        for tag in range(6):
+            evicted = cache.insert(0, tag, owner=0)
+        assert not cache.contains(0, 0)
+        assert cache.contains(0, 5)
+
+    def test_move_between_domains(self):
+        cache = make_partitioned_cache()
+        cache.insert(0, 42, owner=0)
+        cache.insert(0, 42, owner=2)  # ownership transfer
+        assert cache.owner_of(0, 42) == 2
+        assert cache.occupancy(0) == 1
+
+    def test_remove(self):
+        cache = make_partitioned_cache()
+        cache.insert(1, 7, owner=0)
+        assert cache.remove(1, 7)
+        assert not cache.contains(1, 7)
+
+    def test_occupancy_aggregates(self):
+        cache = make_partitioned_cache()
+        cache.insert(2, 1, owner=0)
+        cache.insert(2, 2, owner=2)
+        cache.insert(2, 3, owner=-1)  # noise -> other
+        assert cache.occupancy(2) == 3
+
+
+class TestApplyPartitioning:
+    def test_must_apply_before_traffic(self):
+        machine = Machine(tiny_machine(), noise=no_noise(), seed=1)
+        space = machine.new_address_space()
+        machine.access(0, space.translate_line(space.alloc_page()))
+        with pytest.raises(ConfigurationError):
+            apply_way_partitioning(
+                machine, {0: "att"}, {"att": 3, OTHER_DOMAIN: 3}
+            )
+
+    def test_partitioned_hierarchy_functional(self):
+        machine = Machine(tiny_machine(cores=3), noise=no_noise(), seed=2)
+        apply_way_partitioning(
+            machine,
+            {0: "att", 1: "att", 2: "vic"},
+            {"att": 2, "vic": 2, OTHER_DOMAIN: 2},
+        )
+        space = machine.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        machine.access(0, line)
+        assert machine.hierarchy.in_sf(line)
+        machine.access(2, line)  # cross-core read -> shared
+        assert machine.hierarchy.in_llc(line)
+
+
+class TestDefenseStopsAttack:
+    def test_victim_cannot_evict_attacker_lines(self):
+        """The core guarantee: Prime+Probe goes blind under partitioning."""
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=3)
+        apply_way_partitioning(
+            machine,
+            {0: "att", 1: "att", 2: "vic", 3: "vic"},
+            {"att": 12, "vic": 4, OTHER_DOMAIN: 4},
+        )
+        ctx = AttackerContext(machine, seed=1)
+        ctx.calibrate()
+        bulk = bulk_construct_page_offset(
+            ctx, "bins", 0x240, EvsetConfig(budget_ms=100)
+        )
+        # The attacker can still build eviction sets inside its own ways.
+        assert bulk.evsets
+        evset = bulk.evsets[0]
+        # A victim hammering the same set produces zero detections.
+        target_set = ctx.true_set_of(evset.target_va)
+        offset = evset.target_va % 4096
+        space = machine.new_address_space()
+        while True:
+            page = space.alloc_page()
+            line = space.translate_line(page + offset)
+            if machine.hierarchy.shared_set_index(line) == target_set:
+                break
+        hier = machine.hierarchy
+        for i in range(40):
+            machine.schedule(
+                machine.now + 4_000 + i * 10_000,
+                lambda t, l=line: hier.access(2, l, t, write=True),
+            )
+        trace = monitor_set(ParallelProbing(ctx, evset), 46 * 10_000)
+        assert trace.access_count() == 0

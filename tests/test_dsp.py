@@ -1,0 +1,185 @@
+"""Tests for the signal-processing substrate (windows, Welch PSD, peaks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal as scipy_signal
+
+from repro.dsp import (
+    bin_trace,
+    find_peaks,
+    hann_window,
+    peak_strength_at,
+    periodogram,
+    psd_feature_vector,
+    rectangular_window,
+    welch_psd,
+)
+from repro.errors import ReproError
+
+
+class TestWindows:
+    def test_hann_endpoints(self):
+        w = hann_window(64)
+        assert w[0] == pytest.approx(0.0)
+        assert max(w) <= 1.0
+
+    def test_hann_matches_scipy_periodic(self):
+        w = hann_window(128)
+        ref = scipy_signal.get_window("hann", 128, fftbins=True)
+        assert np.allclose(w, ref)
+
+    def test_rectangular(self):
+        assert np.all(rectangular_window(10) == 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            hann_window(0)
+
+
+class TestPeriodogram:
+    def test_pure_tone_peak(self):
+        fs = 1000.0
+        t = np.arange(1024) / fs
+        x = np.sin(2 * np.pi * 100.0 * t)
+        freqs, psd = periodogram(x, fs=fs)
+        assert freqs[np.argmax(psd)] == pytest.approx(100.0, abs=fs / 1024)
+
+    def test_parseval(self):
+        """The one-sided density integrates to the signal variance."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(4096)
+        fs = 2.0
+        freqs, psd = periodogram(x, fs=fs)
+        df = freqs[1] - freqs[0]
+        assert np.sum(psd) * df == pytest.approx(np.var(x), rel=0.05)
+
+    def test_rejects_short(self):
+        with pytest.raises(ReproError):
+            periodogram(np.array([1.0]))
+
+
+class TestWelch:
+    def _tone_plus_noise(self, f=0.41e6, fs=4e6, n=8192, snr=1.0, seed=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(n) / fs
+        return np.sin(2 * np.pi * f * t) * snr + rng.standard_normal(n)
+
+    def test_matches_scipy(self):
+        x = self._tone_plus_noise()
+        f1, p1 = welch_psd(x, fs=4e6, nperseg=256)
+        f2, p2 = scipy_signal.welch(
+            x, fs=4e6, nperseg=256, noverlap=128, window="hann",
+            detrend="constant",
+        )
+        assert np.allclose(f1, f2)
+        assert np.allclose(p1, p2, rtol=1e-9)
+
+    def test_finds_the_victim_frequency(self):
+        """A 0.41 MHz tone in noise — the paper's expected PSD peak."""
+        x = self._tone_plus_noise()
+        freqs, psd = welch_psd(x, fs=4e6, nperseg=256)
+        ratio, f_found = peak_strength_at(freqs, psd, 0.41e6)
+        assert ratio > 10.0
+        assert f_found == pytest.approx(0.41e6, rel=0.1)
+
+    def test_noise_only_has_no_peak(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(8192)
+        freqs, psd = welch_psd(x, fs=4e6, nperseg=256)
+        ratio, _ = peak_strength_at(freqs, psd, 0.41e6)
+        assert ratio < 10.0
+
+    def test_variance_reduction_vs_periodogram(self):
+        """Averaging segments reduces estimator variance — Welch's point."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(8192)
+        _, p_w = welch_psd(x, fs=1.0, nperseg=256)
+        _, p_p = periodogram(x, fs=1.0)
+        assert np.std(p_w) < np.std(p_p)
+
+    def test_segment_clamped_to_signal(self):
+        x = np.sin(np.arange(100))
+        freqs, psd = welch_psd(x, nperseg=4096)
+        assert len(freqs) == 100 // 2 + 1
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ReproError):
+            welch_psd(np.ones(64), overlap=1.0)
+
+
+class TestPeaks:
+    def test_find_peaks_simple(self):
+        v = np.ones(50)
+        v[20] = 100.0
+        assert find_peaks(v) == [20]
+
+    def test_no_peaks_in_flat(self):
+        assert find_peaks(np.ones(50)) == []
+
+    def test_rejects_short(self):
+        with pytest.raises(ReproError):
+            find_peaks(np.array([1.0, 2.0]))
+
+    def test_peak_strength_outside_band(self):
+        v = np.ones(100)
+        v[90] = 500.0
+        freqs = np.linspace(0, 1e6, 100)
+        ratio, _ = peak_strength_at(freqs, v, 0.1e6, rel_tolerance=0.1)
+        assert ratio < 5.0
+
+    def test_peak_strength_rejects_nonpositive_freq(self):
+        with pytest.raises(ReproError):
+            peak_strength_at(np.arange(10.0), np.ones(10), 0.0)
+
+
+class TestBinning:
+    def test_counts_land_in_bins(self):
+        sig = bin_trace([0, 100, 150, 999], start=0, end=1000, bin_cycles=100)
+        assert sig[0] == 1
+        assert sig[1] == 2
+        assert sig[9] == 1
+
+    def test_out_of_window_ignored(self):
+        sig = bin_trace([-5, 2000], start=0, end=1000, bin_cycles=100)
+        assert sig.sum() == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ReproError):
+            bin_trace([], start=10, end=10, bin_cycles=1)
+
+
+class TestFeatureVector:
+    def _periodic_trace(self, period=4850, n=200, jitter=0, seed=0):
+        rng = np.random.default_rng(seed)
+        t = 0
+        out = []
+        for _ in range(n):
+            out.append(t)
+            t += period + (rng.integers(-jitter, jitter + 1) if jitter else 0)
+        return out
+
+    def test_fixed_length(self):
+        trace = self._periodic_trace()
+        v = psd_feature_vector(trace, 0, 10**6, 500, 2e9, n_bands=24)
+        assert v.shape == (28,)
+
+    def test_periodic_vs_random_distinguishable(self):
+        periodic = self._periodic_trace()
+        rng = np.random.default_rng(3)
+        random_trace = sorted(rng.integers(0, 10**6, size=200).tolist())
+        v1 = psd_feature_vector(periodic, 0, 10**6, 500, 2e9)
+        v2 = psd_feature_vector(random_trace, 0, 10**6, 500, 2e9)
+        # The peak-ratio feature (index -3) separates them clearly.
+        assert v1[-3] > v2[-3] + 0.5
+
+    def test_empty_trace_works(self):
+        v = psd_feature_vector([], 0, 10**6, 500, 2e9)
+        assert np.all(np.isfinite(v))
+
+    def test_deterministic(self):
+        t = self._periodic_trace()
+        a = psd_feature_vector(t, 0, 10**6, 500, 2e9)
+        b = psd_feature_vector(t, 0, 10**6, 500, 2e9)
+        assert np.array_equal(a, b)

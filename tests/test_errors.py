@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    BudgetExceededError,
+    ConfigurationError,
+    CryptoError,
+    EvictionSetError,
+    ExtractionError,
+    NotTrainedError,
+    ReproError,
+    ScanError,
+)
+
+ALL = [
+    AddressError,
+    BudgetExceededError,
+    ConfigurationError,
+    CryptoError,
+    EvictionSetError,
+    ExtractionError,
+    NotTrainedError,
+    ScanError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_budget_is_eviction_set_error():
+    """Budget exhaustion is a kind of construction failure."""
+    assert issubclass(BudgetExceededError, EvictionSetError)
+
+
+def test_catchable_at_boundary():
+    try:
+        raise ScanError("not found")
+    except ReproError as exc:
+        assert "not found" in str(exc)

@@ -1,0 +1,149 @@
+"""Tests for L2-driven candidate filtering and bulk construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import no_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import (
+    EvsetConfig,
+    build_candidate_set,
+    build_l2_eviction_set,
+    bulk_construct_page_offset,
+    bulk_construct_whole_sys,
+    filter_candidates,
+    shift_candidates,
+)
+from repro.errors import EvictionSetError
+from repro.memsys.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=41)
+    ctx = AttackerContext(machine, seed=1)
+    ctx.calibrate()
+    cand = build_candidate_set(ctx, page_offset=0x180)
+    return ctx, cand
+
+
+class TestFiltering:
+    def test_filter_keeps_only_l2_congruent(self, setup):
+        ctx, cand = setup
+        target = cand.vas[0]
+        l2e = build_l2_eviction_set(ctx, target)
+        filtered = filter_candidates(ctx, l2e, cand.vas[1:400])
+        target_l2 = ctx.true_l2_set_of(target)
+        assert filtered
+        assert all(ctx.true_l2_set_of(v) == target_l2 for v in filtered)
+
+    def test_filter_reduction_ratio(self, setup):
+        """Filtered size ~= N / U_L2 (Section 5.1's whole point)."""
+        ctx, cand = setup
+        target = cand.vas[0]
+        l2e = build_l2_eviction_set(ctx, target)
+        sample = cand.vas[1:801]
+        filtered = filter_candidates(ctx, l2e, sample)
+        expected = len(sample) / ctx.machine.cfg.u_l2
+        assert len(filtered) == pytest.approx(expected, rel=0.35)
+
+    def test_filter_keeps_congruent_candidates(self, setup):
+        """No LLC-congruent candidate may be lost by filtering."""
+        ctx, cand = setup
+        target = cand.vas[0]
+        tset = ctx.true_set_of(target)
+        l2e = build_l2_eviction_set(ctx, target)
+        sample = cand.vas[1:801]
+        filtered = set(filter_candidates(ctx, l2e, sample))
+        congruent = [v for v in sample if ctx.true_set_of(v) == tset]
+        lost = [v for v in congruent if v not in filtered]
+        assert len(lost) <= max(1, len(congruent) // 10)
+
+    def test_shift_candidates(self):
+        shifted = shift_candidates([0x1000, 0x2040], 0x80)
+        assert shifted == [0x1080, 0x20C0]
+
+    def test_shift_rejects_page_crossing(self):
+        with pytest.raises(EvictionSetError):
+            shift_candidates([0x1FC0], 0x80)
+
+    def test_shift_preserves_l2_congruence(self, setup):
+        ctx, cand = setup
+        target = cand.vas[0]
+        l2e = build_l2_eviction_set(ctx, target)
+        filtered = filter_candidates(ctx, l2e, cand.vas[1:300])
+        shifted = shift_candidates(filtered, 0x40)
+        l2_sets = {ctx.true_l2_set_of(v) for v in shifted}
+        assert len(l2_sets) == 1
+
+
+class TestBulkPageOffset:
+    @pytest.fixture(scope="class")
+    def bulk(self):
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=42)
+        ctx = AttackerContext(machine, seed=2)
+        ctx.calibrate()
+        result = bulk_construct_page_offset(
+            ctx, "bins", 0x240, EvsetConfig(budget_ms=100.0)
+        )
+        return ctx, result
+
+    def test_covers_nearly_all_sets(self, bulk):
+        ctx, result = bulk
+        expected = ctx.machine.cfg.u_llc
+        valid, covered = result.coverage(ctx)
+        assert covered >= expected - 2
+
+    def test_all_evsets_minimal(self, bulk):
+        ctx, result = bulk
+        w = ctx.machine.cfg.sf.ways
+        assert all(len(e.vas) == w for e in result.evsets)
+
+    def test_no_duplicate_sets(self, bulk):
+        """The Section 2.2.3 dedup: one eviction set per cache set."""
+        ctx, result = bulk
+        valid_sets = [
+            next(iter({ctx.true_set_of(v) for v in e.vas}))
+            for e in result.evsets
+            if len({ctx.true_set_of(v) for v in e.vas}) == 1
+        ]
+        dupes = len(valid_sets) - len(set(valid_sets))
+        assert dupes <= 1
+
+    def test_success_rate_high_quiet(self, bulk):
+        ctx, result = bulk
+        assert result.success_rate(ctx) > 0.9
+
+    def test_accounting(self, bulk):
+        _, result = bulk
+        assert result.elapsed_cycles > 0
+        assert result.filtering_cycles > 0
+        assert result.n_targets_attempted >= len(result.evsets)
+
+
+class TestBulkWholeSys:
+    def test_two_offsets_reuse_filtering(self):
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=43)
+        ctx = AttackerContext(machine, seed=3)
+        ctx.calibrate()
+        result = bulk_construct_whole_sys(
+            ctx, "bins", EvsetConfig(budget_ms=100.0), offsets=[0x0, 0x40]
+        )
+        expected = 2 * ctx.machine.cfg.u_llc
+        _, covered = result.coverage(ctx)
+        assert covered >= expected - 4
+        # Filtering ran once (for the base offset), not once per offset.
+        assert result.filtering_cycles < result.elapsed_cycles / 2
+
+    def test_deadline_cuts_run_short(self):
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=44)
+        ctx = AttackerContext(machine, seed=4)
+        ctx.calibrate()
+        deadline = machine.now + int(0.004 * machine.clock_hz)
+        result = bulk_construct_whole_sys(
+            ctx, "bins", EvsetConfig(budget_ms=100.0),
+            offsets=[0x0, 0x40, 0x80], deadline=deadline,
+        )
+        assert result.timed_out
+        assert len(result.evsets) < 3 * ctx.machine.cfg.u_llc

@@ -1,0 +1,83 @@
+"""Tests for the Prime+Prune+Probe baseline (related work, Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    cloud_run_noise,
+    exposure_matched,
+    no_noise,
+    skylake_sp_small,
+)
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, build_candidate_set, construct_sf_evset
+from repro.core.evset.ppp import PrimePruneProbe
+from repro.core.evset.primitives import EvictionTester
+from repro.core.evset.types import AlgorithmStats
+from repro.memsys.machine import Machine
+
+
+def setup(noise=None, seed=60):
+    machine = Machine(skylake_sp_small(), noise=noise or no_noise(), seed=seed)
+    ctx = AttackerContext(machine, seed=1)
+    ctx.calibrate()
+    cand = build_candidate_set(ctx, page_offset=0x240)
+    target = cand.vas.pop()
+    return machine, ctx, target, cand.vas
+
+
+class TestPruneChunk:
+    def test_prune_reaches_capacity(self):
+        """Pruning a 2x-capacity chunk converges near U*W residents."""
+        machine, ctx, target, pool = setup()
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        cfg = machine.cfg
+        chunk = pool[: 2 * cfg.u_llc * cfg.llc.ways]
+        resident = PrimePruneProbe()._prune_chunk(
+            tester, chunk, AlgorithmStats()
+        )
+        capacity = cfg.u_llc * cfg.llc.ways
+        assert 0.75 * capacity <= len(resident) <= 1.1 * capacity
+
+    def test_resident_set_includes_target_congruents(self):
+        machine, ctx, target, pool = setup(seed=61)
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        cfg = machine.cfg
+        chunk = pool[: 2 * cfg.u_llc * cfg.llc.ways]
+        resident = PrimePruneProbe()._prune_chunk(
+            tester, chunk, AlgorithmStats()
+        )
+        tset = ctx.true_set_of(target)
+        congruent = sum(1 for v in resident if ctx.true_set_of(v) == tset)
+        assert congruent >= cfg.llc.ways - 2
+
+
+class TestConstruction:
+    def test_quiet_construction_valid_and_minimal(self):
+        machine, ctx, target, pool = setup(seed=62)
+        outcome = construct_sf_evset(
+            ctx, "ppp", target, pool, EvsetConfig(budget_ms=1000)
+        )
+        assert outcome.success, outcome.failure_reason
+        assert len(outcome.evset.vas) == machine.cfg.sf.ways
+        sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
+        assert sets == {ctx.true_set_of(target)}
+
+    def test_collapses_under_fraction_of_cloud_noise(self):
+        """Section 8 / CTPP: PPP dies at ~10% of Cloud Run's activity."""
+        cfg = skylake_sp_small()
+        noise = exposure_matched(cloud_run_noise(), cfg).scaled(0.1)
+        failures = 0
+        for seed in (63, 64):
+            machine, ctx, target, pool = setup(noise=noise, seed=seed)
+            outcome = construct_sf_evset(
+                ctx, "ppp", target, pool,
+                EvsetConfig(budget_ms=1000, max_attempts=5),
+            )
+            valid = False
+            if outcome.success:
+                sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
+                valid = sets == {ctx.true_set_of(target)}
+            failures += not valid
+        assert failures >= 1

@@ -1,0 +1,178 @@
+"""Tests for the attacker context and the TestEviction primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import build_candidate_set, candidate_set_size
+from repro.core.evset.primitives import EvictionTester
+from repro.errors import ConfigurationError
+from repro.memsys.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """One shared quiet machine + candidates, grouped by true set."""
+    from repro.config import no_noise
+
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=21)
+    ctx = AttackerContext(machine, seed=2)
+    ctx.calibrate()
+    cand = build_candidate_set(ctx, page_offset=0x200)
+    target = cand.vas.pop()
+    tset = ctx.true_set_of(target)
+    congruent = [v for v in cand.vas if ctx.true_set_of(v) == tset]
+    others = [v for v in cand.vas if ctx.true_set_of(v) != tset]
+    return ctx, target, congruent, others
+
+
+class TestContext:
+    def test_calibrated_thresholds_ordered(self, setup):
+        ctx, *_ = setup
+        lat = ctx.machine.cfg.latency
+        assert lat.l2_hit < ctx.threshold_private < lat.llc_hit + lat.timer_overhead
+        assert lat.llc_hit < ctx.threshold_llc < lat.dram + lat.timer_overhead
+
+    def test_line_memoization(self, setup):
+        ctx, target, *_ = setup
+        assert ctx.line(target) == ctx.line(target)
+
+    def test_rejects_same_cores(self, quiet_machine):
+        with pytest.raises(ConfigurationError):
+            AttackerContext(quiet_machine, main_core=0, helper_core=0)
+
+    def test_page_pool_reuse(self, ctx):
+        pages = ctx.alloc_pages(5)
+        ctx.release_pages(pages)
+        again = ctx.alloc_pages(3)
+        assert set(again) <= set(pages)
+
+    def test_load_shared_puts_line_in_llc(self, setup):
+        ctx, _, congruent, _ = setup
+        va = congruent[0]
+        ctx.load_shared(va)
+        assert ctx.machine.hierarchy.in_llc(ctx.line(va))
+
+    def test_store_makes_sf_tracked(self, setup):
+        ctx, _, _, others = setup
+        va = others[0]
+        ctx.store(va)
+        assert ctx.machine.hierarchy.in_sf(ctx.line(va))
+
+
+class TestCandidates:
+    def test_size_formula(self):
+        cfg = skylake_sp_small()
+        assert candidate_set_size(cfg, "sf") == 3 * cfg.u_llc * cfg.sf.ways
+        assert candidate_set_size(cfg, "l2") == 3 * cfg.u_l2 * cfg.l2.ways
+
+    def test_candidates_have_requested_offset(self, setup):
+        ctx, *_ = setup
+        cand = build_candidate_set(ctx, page_offset=0x340, size=40)
+        assert all(va % 4096 == 0x340 for va in cand.vas)
+
+    def test_rejects_unaligned_offset(self, ctx):
+        with pytest.raises(ConfigurationError):
+            build_candidate_set(ctx, page_offset=0x241, size=8)
+
+    def test_candidates_spread_over_all_sets(self, setup):
+        """3UW candidates must cover every set at the offset (coupon bound)."""
+        ctx, target, congruent, others = setup
+        u = ctx.machine.cfg.u_llc
+        sets = {ctx.true_set_of(v) for v in [target] + congruent + others}
+        assert len(sets) == u
+
+    def test_enough_congruent_for_any_set(self, setup):
+        ctx, _, congruent, _ = setup
+        assert len(congruent) >= ctx.machine.cfg.sf.ways
+
+
+class TestEvictionPrimitive:
+    def test_llc_mode_detects_exactly_at_associativity(self, setup):
+        ctx, target, congruent, others = setup
+        w = ctx.machine.cfg.llc.ways
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        assert tester.test(target, congruent[:w])
+        assert not tester.test(target, congruent[: w - 1])
+
+    def test_llc_mode_noncongruent_never_evicts(self, setup):
+        ctx, target, _, others = setup
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        assert not tester.test(target, others[:300])
+
+    def test_llc_mode_mixed(self, setup):
+        ctx, target, congruent, others = setup
+        w = ctx.machine.cfg.llc.ways
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        mixed = others[:100] + congruent[:w] + others[100:150]
+        assert tester.test(target, mixed)
+
+    def test_sequential_mode_same_verdicts(self, setup):
+        ctx, target, congruent, others = setup
+        w = ctx.machine.cfg.llc.ways
+        tester = EvictionTester(ctx, mode="llc", parallel=False)
+        assert tester.test(target, congruent[:w])
+        assert not tester.test(target, others[:50])
+
+    def test_sequential_slower_than_parallel(self, setup):
+        ctx, target, congruent, others = setup
+        vas = others[:200]
+        par = EvictionTester(ctx, mode="llc", parallel=True)
+        seq = EvictionTester(ctx, mode="llc", parallel=False)
+        t0 = ctx.machine.now
+        par.test(target, vas)
+        t_par = ctx.machine.now - t0
+        t0 = ctx.machine.now
+        seq.test(target, vas)
+        t_seq = ctx.machine.now - t0
+        assert t_seq > 3 * t_par
+
+    def test_sf_mode_needs_one_more_than_llc(self, setup):
+        """SF has 12 ways vs LLC's 11: the extension test's foundation."""
+        ctx, target, congruent, _ = setup
+        w_sf = ctx.machine.cfg.sf.ways
+        tester = EvictionTester(ctx, mode="sf", parallel=True)
+        assert tester.test(target, congruent[:w_sf])
+        assert not tester.test(target, congruent[: w_sf - 1])
+
+    def test_l2_mode(self, setup):
+        ctx, _, congruent, others = setup
+        w_l2 = ctx.machine.cfg.l2.ways
+        target = others[0]
+        same_l2 = [
+            v
+            for v in others[1:] + congruent
+            if ctx.true_l2_set_of(v) == ctx.true_l2_set_of(target)
+        ]
+        assert len(same_l2) >= w_l2
+        tester = EvictionTester(ctx, mode="l2", parallel=True)
+        assert tester.test(target, same_l2[:w_l2])
+        assert not tester.test(target, same_l2[: w_l2 - 1])
+
+    def test_n_prefix_respected(self, setup):
+        ctx, target, congruent, others = setup
+        w = ctx.machine.cfg.llc.ways
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        vas = congruent[:w] + others[:10]
+        # Prefix excludes all congruent lines -> no eviction.
+        assert not tester.test(target, others[:50] + congruent, n=50)
+
+    def test_is_eviction_set_majority(self, setup):
+        ctx, target, congruent, _ = setup
+        w = ctx.machine.cfg.llc.ways
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        assert tester.is_eviction_set(target, congruent[:w], votes=3)
+
+    def test_counters_advance(self, setup):
+        ctx, target, _, others = setup
+        tester = EvictionTester(ctx, mode="llc", parallel=True)
+        tester.test(target, others[:10])
+        assert tester.n_tests == 1
+        assert tester.traversed_addresses == 10
+
+    def test_unknown_mode_rejected(self, setup):
+        ctx, *_ = setup
+        with pytest.raises(ConfigurationError):
+            EvictionTester(ctx, mode="l3")

@@ -1,0 +1,65 @@
+"""Tests for eviction-set data types and configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evset.types import (
+    AlgorithmStats,
+    BuildOutcome,
+    CandidateSet,
+    EvictionSet,
+    EvsetConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEvsetConfig:
+    def test_defaults_match_paper_protocol(self):
+        cfg = EvsetConfig()
+        assert cfg.candidate_scale == 3.0
+        assert cfg.max_attempts == 10
+        assert cfg.max_backtracks == 20
+        assert cfg.budget_ms == 1000.0
+
+    def test_budget_cycles(self):
+        cfg = EvsetConfig(budget_ms=100.0)
+        assert cfg.budget_cycles(2.0) == 200_000_000
+
+    def test_rejects_small_scale(self):
+        with pytest.raises(ConfigurationError):
+            EvsetConfig(candidate_scale=1.0)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ConfigurationError):
+            EvsetConfig(max_attempts=0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            EvsetConfig(budget_ms=0.0)
+
+    def test_frozen(self):
+        cfg = EvsetConfig()
+        with pytest.raises(AttributeError):
+            cfg.budget_ms = 5.0
+
+
+class TestDataTypes:
+    def test_candidate_set_len(self):
+        cs = CandidateSet(page_offset=0x40, vas=[1, 2, 3])
+        assert len(cs) == 3
+
+    def test_eviction_set_len(self):
+        ev = EvictionSet(kind="sf", vas=list(range(12)), target_va=99)
+        assert len(ev) == 12
+        assert ev.kind == "sf"
+
+    def test_outcome_elapsed_ms(self):
+        out = BuildOutcome(success=True, evset=None, elapsed_cycles=2_000_000)
+        assert out.elapsed_ms(2.0) == pytest.approx(1.0)
+
+    def test_outcome_default_stats(self):
+        out = BuildOutcome(success=False, evset=None, elapsed_cycles=0)
+        assert isinstance(out.stats, AlgorithmStats)
+        assert out.stats.tests == 0
+        assert out.failure_reason == ""

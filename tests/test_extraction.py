@@ -1,0 +1,221 @@
+"""Tests for nonce-bit extraction (boundary decoding, bit readout, scoring)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import (
+    ExtractedBit,
+    ExtractionConfig,
+    ForestBoundaryClassifier,
+    HeuristicBoundaryClassifier,
+    bits_look_unbiased,
+    extract_bits,
+    score_extraction,
+)
+from repro.core.traces import AccessTrace
+from repro.errors import NotTrainedError
+from repro.victim.ecdsa_victim import SigningGroundTruth
+
+CFG = ExtractionConfig(iter_cycles=9700)
+
+
+def synth_trace(
+    bits,
+    iter_cycles=9700,
+    jitter=150,
+    start=10_000,
+    drop=0.0,
+    noise_rate=0.0,
+    detect_delay=250,
+    seed=0,
+):
+    """Synthesize a detection trace + ground truth for a bit sequence.
+
+    Mirrors the victim model: boundary access each iteration, midpoint
+    access for 0 bits; optional dropped detections and Poisson noise.
+    """
+    dur_rng = random.Random(seed)
+    det_rng = random.Random(seed + 1)
+    boundaries = [start]
+    for _ in bits:
+        boundaries.append(
+            boundaries[-1] + iter_cycles + dur_rng.randint(-jitter, jitter)
+        )
+    detections = []
+    for j, bit in enumerate(bits):
+        t, t_next = boundaries[j], boundaries[j + 1]
+        if det_rng.random() >= drop:
+            detections.append(t + det_rng.randint(0, detect_delay))
+        if bit == 0 and det_rng.random() >= drop:
+            detections.append(
+                (t + t_next) // 2 + det_rng.randint(0, detect_delay)
+            )
+    end = boundaries[-1]
+    if noise_rate > 0:
+        nrng = random.Random(seed + 999)
+        n_noise = int((end - start) * noise_rate)
+        for _ in range(n_noise):
+            detections.append(nrng.randint(start, end))
+    detections.sort()
+    truth = SigningGroundTruth(
+        nonce=None, bits=list(bits), boundaries=boundaries, start=start, end=end
+    )
+    trace = AccessTrace(
+        timestamps=detections, start=start - iter_cycles, end=end + iter_cycles
+    )
+    return trace, truth
+
+
+def random_bits(n, seed=1):
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(n)]
+
+
+class TestHeuristicDecoder:
+    def test_clean_trace_full_recovery(self):
+        bits = random_bits(120)
+        trace, truth = synth_trace(bits)
+        clf = HeuristicBoundaryClassifier(CFG)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.95
+        assert score.bit_error_rate < 0.02
+
+    def test_all_zero_bits(self):
+        """Runs of zeros = the dense 4,850-cycle pattern (Section 7.1)."""
+        trace, truth = synth_trace([0] * 60)
+        clf = HeuristicBoundaryClassifier(CFG)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.9
+        assert score.bit_error_rate < 0.05
+
+    def test_all_one_bits(self):
+        trace, truth = synth_trace([1] * 60)
+        clf = HeuristicBoundaryClassifier(CFG)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.9
+        assert score.bit_error_rate < 0.05
+
+    def test_phase_lock_not_mid_chain(self):
+        """With mixed bits, boundaries must be boundaries, not midpoints."""
+        bits = random_bits(100, seed=3)
+        trace, truth = synth_trace(bits, seed=3)
+        clf = HeuristicBoundaryClassifier(CFG)
+        pred = clf.predict_boundaries(trace)
+        matches = sum(
+            1 for b in truth.boundaries
+            if any(abs(p - b) <= CFG.match_tolerance for p in pred)
+        )
+        assert matches / len(truth.boundaries) > 0.9
+
+    def test_survives_dropouts(self):
+        bits = random_bits(150, seed=4)
+        trace, truth = synth_trace(bits, drop=0.12, seed=4)
+        clf = HeuristicBoundaryClassifier(CFG)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.5
+        assert score.bit_error_rate < 0.1
+
+    def test_survives_noise(self):
+        bits = random_bits(120, seed=5)
+        trace, truth = synth_trace(bits, noise_rate=1 / 30_000, seed=5)
+        clf = HeuristicBoundaryClassifier(CFG)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.7
+
+    def test_short_trace_empty(self):
+        trace = AccessTrace(timestamps=[100], start=0, end=1000)
+        assert HeuristicBoundaryClassifier(CFG).predict_boundaries(trace) == []
+
+    def test_labels_states(self):
+        bits = [0, 1, 0, 1, 0, 1, 0, 0, 1, 1] * 4
+        trace, truth = synth_trace(bits, seed=6)
+        clf = HeuristicBoundaryClassifier(CFG)
+        labels = clf.predict_labels(trace)
+        states = {s for _, s in labels}
+        assert states <= {"B", "M"}
+        assert "M" in states  # zero bits produce mid accesses
+
+
+class TestForestDecoder:
+    def _training_set(self, n_traces=6):
+        traces, truths = [], []
+        for i in range(n_traces):
+            trace, truth = synth_trace(random_bits(80, seed=i), seed=i)
+            traces.append(trace)
+            truths.append(truth)
+        return traces, truths
+
+    def test_untrained_raises(self):
+        trace, _ = synth_trace(random_bits(20))
+        with pytest.raises(NotTrainedError):
+            ForestBoundaryClassifier(CFG).predict_boundaries(trace)
+
+    def test_trained_recovery(self):
+        traces, truths = self._training_set()
+        clf = ForestBoundaryClassifier(CFG).fit(traces, truths)
+        trace, truth = synth_trace(random_bits(100, seed=77), seed=77)
+        extracted = extract_bits(trace, clf.predict_boundaries(trace), CFG)
+        score = score_extraction(truth, extracted, CFG)
+        assert score.recovered_fraction > 0.6
+        assert score.bit_error_rate < 0.1
+
+
+class TestBitReadout:
+    def test_extract_requires_plausible_spacing(self):
+        trace = AccessTrace(timestamps=[0, 100, 200], start=-10, end=300)
+        bits = extract_bits(trace, [0, 100, 200], CFG)
+        assert bits == []  # 100-cycle spacing is no iteration
+
+    def test_zero_vs_one(self):
+        ic = CFG.iter_cycles
+        trace = AccessTrace(
+            timestamps=[0, ic // 2, ic, 2 * ic], start=-10, end=3 * ic
+        )
+        bits = extract_bits(trace, [0, ic, 2 * ic], CFG)
+        assert [b.bit for b in bits] == [0, 1]
+
+    def test_scoring_counts_errors(self):
+        truth = SigningGroundTruth(
+            nonce=None, bits=[1, 0], boundaries=[0, 9700, 19400],
+            start=0, end=19400,
+        )
+        extracted = [
+            ExtractedBit(start=0, end=9700, bit=0),     # wrong
+            ExtractedBit(start=9700, end=19400, bit=0), # right
+        ]
+        score = score_extraction(truth, extracted, CFG)
+        assert score.n_recovered == 2
+        assert score.n_errors == 1
+        assert score.bit_error_rate == 0.5
+
+    def test_scoring_ignores_unmatched(self):
+        truth = SigningGroundTruth(
+            nonce=None, bits=[1], boundaries=[0, 9700], start=0, end=9700
+        )
+        extracted = [ExtractedBit(start=50_000, end=59_700, bit=1)]
+        score = score_extraction(truth, extracted, CFG)
+        assert score.n_recovered == 0
+        assert score.recovered_fraction == 0.0
+
+
+class TestBiasFilter:
+    def test_balanced_accepted(self):
+        bits = [ExtractedBit(0, 1, i % 2) for i in range(40)]
+        assert bits_look_unbiased(bits)
+
+    def test_biased_rejected(self):
+        bits = [ExtractedBit(0, 1, 0) for _ in range(40)]
+        assert not bits_look_unbiased(bits)
+
+    def test_too_few_rejected(self):
+        bits = [ExtractedBit(0, 1, i % 2) for i in range(4)]
+        assert not bits_look_unbiased(bits)

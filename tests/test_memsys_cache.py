@@ -1,0 +1,134 @@
+"""Tests for the set-associative cache structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.memsys.cache import SetAssociativeCache
+
+
+def make_cache(ways=4, sets=8, policy="lru"):
+    return SetAssociativeCache("T", sets, ways, policy, make_rng(0))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(0, 100)
+        c.insert(0, 100)
+        assert c.lookup(0, 100)
+
+    def test_contains_no_side_effects(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1)
+        c.insert(0, 2)
+        # contains() must not touch recency: line 1 stays LRU.
+        for _ in range(5):
+            assert c.contains(0, 1)
+        evicted = c.insert(0, 3)
+        assert evicted == (1, 0)
+
+    def test_insert_existing_is_touch(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1)
+        c.insert(0, 2)
+        c.insert(0, 1)  # touch
+        assert c.insert(0, 3) == (2, 0)
+
+    def test_eviction_returns_tag_and_owner(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1, owner=5)
+        c.insert(0, 2, owner=6)
+        assert c.insert(0, 3, owner=7) == (1, 5)
+
+    def test_sets_independent(self):
+        c = make_cache(ways=1)
+        c.insert(0, 1)
+        c.insert(1, 2)
+        assert c.contains(0, 1) and c.contains(1, 2)
+
+    def test_occupancy(self):
+        c = make_cache(ways=4)
+        assert c.occupancy(3) == 0
+        c.insert(3, 9)
+        c.insert(3, 10)
+        assert c.occupancy(3) == 2
+
+    def test_remove(self):
+        c = make_cache()
+        c.insert(0, 5)
+        assert c.remove(0, 5)
+        assert not c.contains(0, 5)
+        assert not c.remove(0, 5)
+
+    def test_removed_way_reused_first(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1)
+        c.insert(0, 2)
+        c.remove(0, 1)
+        assert c.insert(0, 3) is None  # free way, no eviction
+        assert c.contains(0, 2) and c.contains(0, 3)
+
+    def test_owner_of(self):
+        c = make_cache()
+        c.insert(0, 7, owner=3)
+        assert c.owner_of(0, 7) == 3
+        assert c.owner_of(0, 8) is None
+
+    def test_peek_victim_none_when_free(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1)
+        assert c.peek_victim(0) is None
+
+    def test_peek_victim_is_next_evicted(self):
+        c = make_cache(ways=2)
+        c.insert(0, 1)
+        c.insert(0, 2)
+        victim = c.peek_victim(0)
+        evicted = c.insert(0, 3)
+        assert evicted[0] == victim
+
+    def test_lazy_materialization(self):
+        c = make_cache(sets=1 << 16)
+        assert c.touched_sets == 0
+        c.insert(12345, 1)
+        assert c.touched_sets == 1
+
+    def test_flush_all(self):
+        c = make_cache()
+        c.insert(0, 1)
+        c.flush_all()
+        assert not c.contains(0, 1)
+        assert c.touched_sets == 0
+
+
+class TestInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 30)), max_size=120
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_no_duplicates_and_bounded(self, ops):
+        """No set ever holds duplicate tags or exceeds its associativity."""
+        c = make_cache(ways=4, sets=4)
+        for set_idx, tag in ops:
+            c.insert(set_idx, tag)
+            tags = c.tags_in_set(set_idx)
+            assert len(tags) == len(set(tags))
+            assert len(tags) <= 4
+
+    @given(
+        tags=st.lists(st.integers(0, 1000), min_size=5, max_size=50, unique=True)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_lru_keeps_most_recent(self, tags):
+        """With LRU, the W most recently inserted distinct tags remain."""
+        c = make_cache(ways=4, sets=1)
+        for tag in tags:
+            c.insert(0, tag)
+        expected = tags[-4:]
+        assert sorted(c.tags_in_set(0)) == sorted(expected)

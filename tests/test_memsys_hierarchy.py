@@ -1,0 +1,192 @@
+"""Tests for the non-inclusive LLC + Snoop Filter hierarchy semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import no_noise, tiny_machine
+from repro.memsys.hierarchy import Level
+from repro.memsys.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(tiny_machine(cores=3), noise=no_noise(), seed=5)
+
+
+def fresh_lines(machine, n, offset=0):
+    space = machine.new_address_space()
+    pages = space.alloc_pages(n)
+    return [space.translate_line(p + offset) for p in pages]
+
+
+class TestBasicPath:
+    def test_first_access_is_dram_and_private(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        level, _ = machine.access(0, line)
+        assert level == Level.DRAM
+        hier = machine.hierarchy
+        assert hier.in_sf(line)
+        assert not hier.in_llc(line)
+        assert hier.in_private_cache(0, line)
+
+    def test_second_access_hits_l1(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        level, latency = machine.access(0, line)
+        assert level == Level.L1
+        assert latency == machine.cfg.latency.l1_hit
+
+    def test_cross_core_read_makes_shared(self, machine):
+        """E -> S: SF entry freed, line moves into the LLC (Section 2.3)."""
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        level, _ = machine.access(1, line)
+        assert level == Level.SF_TRANSFER
+        hier = machine.hierarchy
+        assert hier.in_llc(line)
+        assert not hier.in_sf(line)
+
+    def test_shared_line_read_stays_shared(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        machine.access(1, line)
+        machine.hierarchy._invalidate_private(2, line)
+        level, _ = machine.access(2, line)
+        assert level == Level.LLC
+        assert machine.hierarchy.in_llc(line)
+
+    def test_latency_ordering(self, machine):
+        lat = machine.cfg.latency
+        assert lat.l1_hit < lat.l2_hit < lat.llc_hit < lat.dram
+
+
+class TestWritePath:
+    def test_store_makes_exclusive(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        machine.access(1, line)  # now shared
+        assert machine.hierarchy.in_llc(line)
+        machine.access(0, line, write=True)
+        hier = machine.hierarchy
+        assert hier.in_sf(line)
+        assert not hier.in_llc(line)
+        sidx = hier.shared_set_index(line)
+        assert hier.sf.owner_of(sidx, line) == 0
+
+    def test_store_invalidates_other_sharers(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        machine.access(1, line)
+        machine.access(0, line, write=True)
+        assert not machine.hierarchy.in_private_cache(1, line)
+
+    def test_store_steals_exclusivity(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        machine.access(1, line, write=True)
+        hier = machine.hierarchy
+        sidx = hier.shared_set_index(line)
+        assert hier.sf.owner_of(sidx, line) == 1
+        assert not hier.in_private_cache(0, line)
+
+    def test_store_hit_when_already_exclusive(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line, write=True)
+        level, _ = machine.access(0, line, write=True)
+        assert level in (Level.L1, Level.L2)
+
+
+class TestSnoopFilterEviction:
+    def _congruent_lines(self, machine, count):
+        """Find `count` lines mapping to one shared set (brute force)."""
+        space = machine.new_address_space()
+        hier = machine.hierarchy
+        buckets = {}
+        while True:
+            page = space.alloc_page()
+            line = space.translate_line(page)
+            sidx = hier.shared_set_index(line)
+            buckets.setdefault(sidx, []).append(line)
+            if len(buckets[sidx]) >= count:
+                return buckets[sidx][:count]
+
+    def test_sf_overflow_back_invalidates(self, machine):
+        """Filling an SF set past its ways back-invalidates the oldest
+        owner's private copy — the attack's observable event."""
+        ways = machine.cfg.sf.ways
+        lines = self._congruent_lines(machine, ways + 1)
+        victim_line = lines[0]
+        machine.access(0, victim_line)
+        assert machine.hierarchy.in_private_cache(0, victim_line)
+        for other in lines[1:]:
+            machine.access(1, other, write=True)
+        hier = machine.hierarchy
+        assert not hier.in_sf(victim_line)
+        assert not hier.in_private_cache(0, victim_line)
+        assert hier.stats.sf_back_invalidations >= 1
+
+    def test_back_invalidated_reload_is_slow(self, machine):
+        ways = machine.cfg.sf.ways
+        lines = self._congruent_lines(machine, ways + 1)
+        victim_line = lines[0]
+        machine.access(0, victim_line)
+        for other in lines[1:]:
+            machine.access(1, other, write=True)
+        level, latency = machine.access(0, victim_line)
+        assert level in (Level.DRAM, Level.LLC)
+        assert latency > machine.cfg.latency.l2_hit
+
+    def test_llc_eviction_invalidates_sharers(self, machine):
+        """Evicting a shared line's LLC entry (the directory entry for S
+        lines) invalidates its private copies everywhere."""
+        ways = machine.cfg.llc.ways
+        lines = self._congruent_lines(machine, ways + 2)
+        target = lines[0]
+        machine.access(0, target)
+        machine.access(1, target)  # shared, in LLC
+        assert machine.hierarchy.in_llc(target)
+        for other in lines[1:]:
+            machine.access(0, other)
+            machine.access(1, other)  # shared -> LLC inserts
+        hier = machine.hierarchy
+        if not hier.in_llc(target):  # evicted by the congruent insertions
+            assert not hier.in_private_cache(0, target)
+            assert not hier.in_private_cache(1, target)
+
+
+class TestFlush:
+    def test_flush_removes_everywhere(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.access(0, line)
+        machine.access(1, line)
+        machine.flush(line)
+        hier = machine.hierarchy
+        assert not hier.cached_anywhere(line)
+
+    def test_flush_batch_cheaper_than_individual(self, machine):
+        lines = fresh_lines(machine, 8)
+        for line in lines:
+            machine.access(0, line)
+        t0 = machine.now
+        machine.flush_batch(lines)
+        batch_cost = machine.now - t0
+        lat = machine.cfg.latency
+        assert batch_cost < len(lines) * lat.flush
+        assert all(not machine.hierarchy.cached_anywhere(l) for l in lines)
+
+
+class TestStats:
+    def test_stats_count_accesses(self, machine):
+        (line,) = fresh_lines(machine, 1)
+        machine.hierarchy.stats.reset()
+        machine.access(0, line)
+        machine.access(0, line)
+        stats = machine.hierarchy.stats
+        assert stats.accesses == 2
+        assert stats.dram_fetches == 1
+        assert stats.l1_hits == 1
+
+    def test_stats_as_dict(self, machine):
+        d = machine.hierarchy.stats.as_dict()
+        assert "sf_back_invalidations" in d

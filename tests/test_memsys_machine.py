@@ -1,0 +1,184 @@
+"""Tests for the Machine: clock, events, traversals, preemption, noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    NoiseConfig,
+    cloud_run_noise,
+    no_noise,
+    skylake_sp_small,
+    tiny_machine,
+)
+from repro.memsys.hierarchy import Level
+from repro.memsys.machine import Machine
+
+
+class TestClockAndEvents:
+    def test_access_advances_clock(self, tiny):
+        space = tiny.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        before = tiny.now
+        _, latency = tiny.access(0, line)
+        assert tiny.now == before + latency
+
+    def test_events_fire_in_order(self, tiny):
+        fired = []
+        tiny.schedule(100, lambda t: fired.append(("a", t)))
+        tiny.schedule(50, lambda t: fired.append(("b", t)))
+        tiny.advance(200)
+        assert fired == [("b", 50), ("a", 100)]
+
+    def test_event_in_past_fires_immediately(self, tiny):
+        tiny.advance(500)
+        fired = []
+        tiny.schedule(100, lambda t: fired.append(t))
+        tiny.advance(1)
+        assert fired  # clamped to now
+
+    def test_run_until(self, tiny):
+        tiny.run_until(1234)
+        assert tiny.now == 1234
+        tiny.run_until(100)  # no going back
+        assert tiny.now == 1234
+
+    def test_event_can_reschedule(self, tiny):
+        fired = []
+
+        def tick(t):
+            fired.append(t)
+            if len(fired) < 3:
+                tiny.schedule(t + 100, tick)
+
+        tiny.schedule(100, tick)
+        tiny.advance(1000)
+        assert fired == [100, 200, 300]
+
+    def test_seconds_conversion(self, tiny):
+        tiny.advance(2_000_000_000)
+        assert tiny.seconds() == pytest.approx(1.0)
+
+
+class TestTraversals:
+    def _lines(self, machine, n):
+        space = machine.new_address_space()
+        return [space.translate_line(p) for p in space.alloc_pages(n)]
+
+    def test_parallel_much_faster_than_chase(self, quiet_machine):
+        """The MLP property behind parallel TestEviction (Section 4.1)."""
+        m = quiet_machine
+        lines = self._lines(m, 64)
+        m.access_parallel(0, lines)  # warm nothing in particular
+        m.flush_batch(lines)
+        t_par = m.access_parallel(0, lines)
+        m.flush_batch(lines)
+        t_chase = m.access_chase(0, lines)
+        assert t_chase > 4 * t_par
+
+    def test_parallel_applies_state(self, quiet_machine):
+        m = quiet_machine
+        lines = self._lines(m, 10)
+        m.access_parallel(0, lines)
+        assert all(m.hierarchy.in_private_cache(0, l) for l in lines)
+
+    def test_parallel_empty(self, quiet_machine):
+        assert quiet_machine.access_parallel(0, []) == 0
+
+    def test_advance_false_keeps_clock(self, quiet_machine):
+        m = quiet_machine
+        lines = self._lines(m, 4)
+        before = m.now
+        m.access_parallel(0, lines, advance=False)
+        assert m.now == before
+        assert all(m.hierarchy.in_private_cache(0, l) for l in lines)
+
+    def test_hit_traversal_cheaper(self, quiet_machine):
+        m = quiet_machine
+        lines = self._lines(m, 16)
+        m.access_parallel(0, lines)
+        t_hit = m.access_parallel(0, lines)
+        m.flush_batch(lines)
+        t_miss = m.access_parallel(0, lines)
+        assert t_hit < t_miss
+
+
+class TestTimedAccess:
+    def test_hit_vs_miss_distinguishable(self, quiet_machine):
+        m = quiet_machine
+        space = m.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        t_miss = m.timed_access(0, line)
+        t_hit = m.timed_access(0, line)
+        assert t_miss > m.hit_threshold_llc() > m.hit_threshold_private() > t_hit
+
+    def test_jitter_bounded(self, quiet_machine):
+        m = quiet_machine
+        space = m.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        m.access(0, line)
+        lat = m.cfg.latency
+        samples = {m.timed_access(0, line) for _ in range(40)}
+        low = lat.l1_hit + lat.timer_overhead - lat.timer_jitter
+        high = lat.l1_hit + lat.timer_overhead + lat.timer_jitter
+        assert all(low <= s <= high for s in samples)
+
+
+class TestNoiseIntegration:
+    def test_quiet_machine_has_no_noise_source(self, quiet_machine):
+        assert quiet_machine.hierarchy.noise_source is None
+
+    def test_noise_evicts_idle_shared_line(self):
+        """A shared line left alone under cloud noise eventually leaves the
+        LLC, and its private copies are invalidated with it."""
+        m = Machine(
+            skylake_sp_small(), noise=cloud_run_noise().scaled(20), seed=3
+        )
+        space = m.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        m.access(0, line)
+        m.access(1, line)  # shared
+        assert m.hierarchy.in_llc(line)
+        m.advance(20_000_000)  # 10 ms of noise
+        level, _ = m.access(0, line)
+        assert level == Level.DRAM
+
+    def test_noise_events_counted(self):
+        m = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=3)
+        space = m.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        m.access(0, line)
+        m.advance(4_000_000)
+        m.access(0, line)
+        assert m.noise.events > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            m = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=seed)
+            space = m.new_address_space()
+            lines = [space.translate_line(p) for p in space.alloc_pages(20)]
+            out = []
+            for line in lines:
+                out.append(m.access(0, line))
+                m.advance(10_000)
+            return out, m.noise.events, lines
+
+        assert run(5) == run(5)
+        # Different seeds place pages on different frames.
+        assert run(5)[2] != run(6)[2]
+
+
+class TestPreemption:
+    def test_preemption_outliers_appear(self):
+        noise = NoiseConfig(
+            name="preempty",
+            llc_accesses_per_ms_per_set=0.0,
+            preemption_rate_hz=200_000.0,
+            preemption_cycles=30_000,
+        )
+        m = Machine(skylake_sp_small(), noise=noise, seed=1)
+        space = m.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        m.access(0, line)
+        samples = [m.timed_access(0, line) for _ in range(3000)]
+        assert any(s > 20_000 for s in samples)

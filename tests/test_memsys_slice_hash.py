@@ -1,0 +1,106 @@
+"""Tests for the LLC slice hash functions."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.slice_hash import (
+    ComplexSliceHash,
+    LinearSliceHash,
+    make_slice_hash,
+)
+
+
+class TestLinearSliceHash:
+    def test_range(self):
+        h = LinearSliceHash(8, seed=1)
+        assert all(0 <= h.slice_of(i * 977) < 8 for i in range(500))
+
+    def test_deterministic(self):
+        a, b = LinearSliceHash(8, seed=3), LinearSliceHash(8, seed=3)
+        assert [a.slice_of(i) for i in range(64)] == [b.slice_of(i) for i in range(64)]
+
+    def test_seed_changes_hash(self):
+        a, b = LinearSliceHash(8, seed=1), LinearSliceHash(8, seed=2)
+        assert [a.slice_of(i) for i in range(256)] != [b.slice_of(i) for i in range(256)]
+
+    def test_single_slice(self):
+        h = LinearSliceHash(1, seed=0)
+        assert h.slice_of(12345) == 0
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            LinearSliceHash(28)
+
+    def test_linearity(self):
+        """h(a ^ b) == h(a) ^ h(b) — the defining GF(2) property."""
+        h = LinearSliceHash(16, seed=5)
+        for a, b in [(0x123, 0x456), (0xABCDE, 0x54321), (7, 1 << 20)]:
+            assert h.slice_of(a ^ b) == h.slice_of(a) ^ h.slice_of(b)
+
+    def test_uniformity(self):
+        h = LinearSliceHash(4, seed=2)
+        counts = Counter(h.slice_of(i) for i in range(4096))
+        for c in counts.values():
+            assert abs(c - 1024) < 200
+
+
+class TestComplexSliceHash:
+    @pytest.mark.parametrize("n_slices", [3, 22, 26, 28])
+    def test_range_non_pow2(self, n_slices):
+        h = ComplexSliceHash(n_slices, seed=0)
+        assert all(0 <= h.slice_of(i * 31 + 7) < n_slices for i in range(1000))
+
+    def test_uniformity_28(self):
+        h = ComplexSliceHash(28, seed=1)
+        counts = Counter(h.slice_of(i) for i in range(28_000))
+        expected = 1000
+        for c in counts.values():
+            assert abs(c - expected) < 250
+
+    def test_nonlinear(self):
+        """The complex hash must NOT be GF(2)-linear."""
+        h = ComplexSliceHash(28, seed=0)
+        violations = sum(
+            1
+            for a, b in [(i * 1009, i * 2003 + 5) for i in range(1, 80)]
+            if h.slice_of(a ^ b) != h.slice_of(a) ^ h.slice_of(b)
+        )
+        assert violations > 0
+
+    def test_page_offset_control_insufficient(self):
+        """Fixing the controllable low bits must not pin the slice —
+        the property behind U_LLC = 2^n_uc * n_slices (Section 2.2.1)."""
+        h = ComplexSliceHash(28, seed=0)
+        # Lines sharing low 6 line-address bits (same page offset), random
+        # high bits, must still spread over (nearly) all slices.
+        slices = {h.slice_of((i * 2654435761 % (1 << 22)) << 6 | 0x21) for i in range(3000)}
+        assert len(slices) >= 26
+
+    def test_deterministic(self):
+        a, b = ComplexSliceHash(22, seed=4), ComplexSliceHash(22, seed=4)
+        assert [a.slice_of(i * 3) for i in range(100)] == [
+            b.slice_of(i * 3) for i in range(100)
+        ]
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ConfigurationError):
+            ComplexSliceHash(0)
+
+
+class TestFactory:
+    def test_linear_pow2(self):
+        assert isinstance(make_slice_hash("linear", 8), LinearSliceHash)
+
+    def test_linear_falls_back_for_non_pow2(self):
+        assert isinstance(make_slice_hash("linear", 28), ComplexSliceHash)
+
+    def test_complex_always_complex(self):
+        assert isinstance(make_slice_hash("complex", 8), ComplexSliceHash)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_slice_hash("quantum", 8)

@@ -1,0 +1,213 @@
+"""Tests for the from-scratch ML substrate (SVM, trees, forests, metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotTrainedError, ReproError
+from repro.ml import (
+    SVC,
+    BinaryClassificationReport,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+    evaluate_binary,
+    linear_kernel,
+    poly_kernel,
+    rbf_kernel,
+)
+
+
+def linearly_separable(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = (x[:, 0] + 0.7 * x[:, 1] - 0.2 > 0).astype(int)
+    return x, y
+
+
+def xor_data(n=200, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+class TestScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 3))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotTrainedError):
+            StandardScaler().transform([[1.0]])
+
+
+class TestKernels:
+    def test_linear(self):
+        x = np.array([[1.0, 2.0]])
+        z = np.array([[3.0, 4.0]])
+        assert linear_kernel()(x, z)[0, 0] == 11.0
+
+    def test_poly(self):
+        x = np.array([[1.0, 0.0]])
+        assert poly_kernel(degree=2, gamma=1.0, coef0=1.0)(x, x)[0, 0] == 4.0
+
+    def test_rbf_self_is_one(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert rbf_kernel(0.5)(x, x)[0, 0] == pytest.approx(1.0)
+
+    def test_rbf_decays(self):
+        k = rbf_kernel(1.0)
+        a = np.array([[0.0]])
+        b = np.array([[3.0]])
+        assert k(a, b)[0, 0] < 1e-3
+
+
+class TestSVC:
+    def test_separable_accuracy(self):
+        x, y = linearly_separable()
+        svm = SVC(kernel=linear_kernel(), c=10.0, seed=0).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.95
+
+    def test_poly_kernel_solves_xor(self):
+        x, y = xor_data()
+        svm = SVC(kernel=poly_kernel(degree=2, gamma=1.0), c=10.0, seed=0).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.9
+
+    def test_rbf_solves_xor(self):
+        x, y = xor_data(seed=2)
+        svm = SVC(kernel=rbf_kernel(2.0), c=10.0, seed=0).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.9
+
+    def test_generalizes(self):
+        x, y = linearly_separable(n=300, seed=4)
+        svm = SVC(kernel=linear_kernel(), c=5.0).fit(x[:200], y[:200])
+        assert (svm.predict(x[200:]) == y[200:]).mean() > 0.9
+
+    def test_arbitrary_labels(self):
+        x, y = linearly_separable()
+        labels = np.where(y == 1, "target", "other")
+        svm = SVC(kernel=linear_kernel(), c=5.0).fit(x, labels)
+        assert set(svm.predict(x)) <= {"target", "other"}
+
+    def test_rejects_multiclass(self):
+        x = np.zeros((6, 2))
+        with pytest.raises(ReproError):
+            SVC().fit(x, [0, 1, 2, 0, 1, 2])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotTrainedError):
+            SVC().predict([[0.0, 0.0]])
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = linearly_separable(seed=7)
+        svm = SVC(kernel=linear_kernel(), c=5.0).fit(x, y)
+        scores = svm.decision_function(x)
+        preds = svm.predict(x)
+        assert np.all((scores >= 0) == (preds == svm.classes_[1]))
+
+    def test_has_support_vectors(self):
+        x, y = linearly_separable()
+        svm = SVC(kernel=linear_kernel(), c=1.0).fit(x, y)
+        assert 0 < svm.n_support <= len(x)
+
+
+class TestDecisionTree:
+    def test_pure_leaf_fit(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert list(tree.predict(x)) == [0, 0, 1, 1]
+
+    def test_xor_with_depth(self):
+        # Greedy Gini splits are uninformative at the XOR root, so the tree
+        # needs a few extra levels before the quadrant structure emerges.
+        x, y = xor_data(seed=3)
+        tree = DecisionTreeClassifier(max_depth=8).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.9
+
+    def test_max_depth_respected(self):
+        x, y = xor_data(seed=4)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_sums_to_one(self):
+        x, y = linearly_separable()
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_class(self):
+        x = np.zeros((5, 2))
+        tree = DecisionTreeClassifier().fit(x, np.ones(5))
+        assert list(tree.predict(x)) == [1.0] * 5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotTrainedError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+
+class TestRandomForest:
+    def test_xor(self):
+        x, y = xor_data(seed=5)
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.9
+
+    def test_generalizes_better_than_chance(self):
+        x, y = xor_data(n=400, seed=6)
+        forest = RandomForestClassifier(n_estimators=25, seed=1).fit(
+            x[:300], y[:300]
+        )
+        assert (forest.predict(x[300:]) == y[300:]).mean() > 0.8
+
+    def test_deterministic_given_seed(self):
+        x, y = xor_data(seed=7)
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(x, y).predict(x)
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_proba_shape(self):
+        x, y = linearly_separable()
+        forest = RandomForestClassifier(n_estimators=5).fit(x, y)
+        assert forest.predict_proba(x[:7]).shape == (7, 2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotTrainedError):
+            RandomForestClassifier().predict([[1.0]])
+
+
+class TestMetrics:
+    def test_perfect(self):
+        rep = evaluate_binary([1, 0, 1], [1, 0, 1])
+        assert rep.accuracy == 1.0
+        assert rep.false_negative_rate == 0.0
+        assert rep.false_positive_rate == 0.0
+
+    def test_confusion_counts(self):
+        rep = evaluate_binary([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (rep.true_positives, rep.false_negatives) == (1, 1)
+        assert (rep.false_positives, rep.true_negatives) == (1, 1)
+        assert rep.accuracy == 0.5
+
+    def test_rates(self):
+        rep = BinaryClassificationReport(
+            true_positives=98, true_negatives=9990,
+            false_positives=10, false_negatives=2,
+        )
+        assert rep.false_negative_rate == pytest.approx(0.02)
+        assert rep.false_positive_rate == pytest.approx(0.001)
+        assert rep.recall == pytest.approx(0.98)
+
+    def test_empty_denominators(self):
+        rep = evaluate_binary([0, 0], [0, 0])
+        assert rep.false_negative_rate == 0.0
+        assert rep.precision == 0.0

@@ -1,0 +1,156 @@
+"""Integration tests: PSD scanner and the end-to-end attack pipeline.
+
+These are the heaviest tests in the suite (full victim/attacker
+co-simulation); they use one shared module-scoped setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import cloud_run_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+from repro.core.pipeline import (
+    AttackConfig,
+    collect_signing_traces,
+    run_end_to_end,
+    segment_trace,
+)
+from repro.core.scanner import (
+    Scanner,
+    ScannerConfig,
+    TargetSetClassifier,
+    collect_labeled_traces,
+)
+from repro.core.traces import AccessTrace
+from repro.errors import NotTrainedError, ScanError
+from repro.memsys.machine import Machine
+from repro.victim import EcdsaVictim, VictimConfig
+
+
+@pytest.fixture(scope="module")
+def attack_env():
+    """Machine + running victim + attacker evsets + trained classifier."""
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=71)
+    victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=6)
+    ctx = AttackerContext(machine, main_core=0, helper_core=1, seed=3)
+    ctx.calibrate()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    victim.run_continuously(machine.now + 1000)
+    scfg = ScannerConfig()
+    traces, labels = collect_labeled_traces(
+        ctx, bulk.evsets, target_set, scfg, per_set=2
+    )
+    classifier = TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
+    return machine, victim, ctx, bulk.evsets, target_set, classifier, scfg
+
+
+class TestClassifier:
+    def test_untrained_raises(self, attack_env):
+        machine, *_ = attack_env
+        clf = TargetSetClassifier(machine.clock_hz)
+        with pytest.raises(NotTrainedError):
+            clf.predict(AccessTrace(timestamps=[], start=0, end=1000))
+
+    def test_training_separates_classes(self, attack_env):
+        machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
+        traces, labels = collect_labeled_traces(
+            ctx, evsets, target_set, scfg, per_set=1
+        )
+        report = classifier.validate(traces, labels)
+        assert report.accuracy > 0.9
+        assert report.false_positive_rate < 0.15
+
+
+class TestScanner:
+    def test_finds_target_set(self, attack_env):
+        machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
+        scanner = Scanner(ctx, classifier, scfg)
+        result = scanner.scan(evsets, timeout_s=0.25)
+        assert result.found
+        assert ctx.true_set_of(result.evset.target_va) == target_set
+        assert result.sets_scanned >= 1
+        assert result.scan_rate_sets_per_s(machine.cfg.clock_ghz) > 0
+
+    def test_timeout_respected(self, attack_env):
+        machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
+        non_target = [
+            e for e in evsets if ctx.true_set_of(e.target_va) != target_set
+        ]
+        scanner = Scanner(ctx, classifier, scfg)
+        result = scanner.scan(non_target[:4], timeout_s=0.01)
+        assert not result.found
+        assert result.elapsed_seconds(machine.cfg.clock_ghz) <= 0.02
+
+    def test_empty_evsets_raise(self, attack_env):
+        machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
+        with pytest.raises(ScanError):
+            Scanner(ctx, classifier, scfg).scan([], timeout_s=0.1)
+
+
+class TestSegmentation:
+    def test_splits_on_long_gaps(self):
+        iter_cycles = 9700
+        times = [i * iter_cycles for i in range(10)]
+        times += [10**7 + i * iter_cycles for i in range(10)]
+        trace = AccessTrace(timestamps=times, start=0, end=2 * 10**7)
+        segments = segment_trace(trace, iter_cycles)
+        assert len(segments) == 2
+        assert all(s.access_count() == 10 for s in segments)
+
+    def test_small_segments_dropped(self):
+        trace = AccessTrace(timestamps=[0, 100], start=-10, end=10**6)
+        assert segment_trace(trace, 9700) == []
+
+
+@pytest.fixture(scope="module")
+def fresh_attack_env():
+    """A second, isolated environment for the end-to-end test (the shared
+    ``attack_env`` machine accumulates state from the scanner tests)."""
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=81)
+    victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=8)
+    ctx = AttackerContext(machine, main_core=0, helper_core=1, seed=4)
+    ctx.calibrate()
+    bulk = bulk_construct_page_offset(
+        ctx, "bins", victim.layout.target_page_offset, EvsetConfig(budget_ms=100)
+    )
+    target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
+    victim.run_continuously(machine.now + 1000)
+    scfg = ScannerConfig()
+    traces, labels = collect_labeled_traces(
+        ctx, bulk.evsets, target_set, scfg, per_set=2
+    )
+    classifier = TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
+    return machine, victim, ctx, bulk.evsets, target_set, classifier, scfg
+
+
+class TestEndToEnd:
+    def test_full_attack_recovers_nonce_bits(self, fresh_attack_env):
+        """The Section 7.3 headline: most nonce bits, few errors."""
+        machine, victim, ctx, evsets, target_set, classifier, scfg = (
+            fresh_attack_env
+        )
+        cfg = AttackConfig(n_traces=2, scan_timeout_s=0.5)
+        report = run_end_to_end(
+            ctx, victim, classifier, cfg, evsets=evsets
+        )
+        assert report.target_identified
+        assert report.scores, "no signings scored"
+        assert report.median_recovered_fraction > 0.5
+        assert report.mean_bit_error_rate < 0.15
+        assert report.total_seconds(machine.cfg.clock_ghz) > 0
+
+    def test_collect_signing_traces_shapes(self, attack_env):
+        machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
+        target_evset = next(
+            e for e in evsets if ctx.true_set_of(e.target_va) == target_set
+        )
+        traces = collect_signing_traces(
+            ctx, victim, target_evset, AttackConfig(n_traces=1)
+        )
+        assert traces
+        assert traces[0].access_count() >= victim.curve.nonce_bits // 3

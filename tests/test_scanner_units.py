@@ -1,0 +1,98 @@
+"""Unit tests for scanner configuration and the attack report (pure logic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import ExtractionScore
+from repro.core.pipeline import AttackConfig, AttackReport
+from repro.core.scanner import ScannerConfig, ScanResult
+
+
+class TestScannerConfig:
+    def test_trace_cycles_at_2ghz(self):
+        cfg = ScannerConfig(trace_us=500.0)
+        assert cfg.trace_cycles(2.0) == 1_000_000
+
+    def test_count_bounds_scale_with_expectation(self):
+        cfg = ScannerConfig(trace_us=500.0, expected_period_cycles=4850.0)
+        lo, hi = cfg.count_bounds(2.0)
+        expected = 1_000_000 / 4850.0
+        assert lo == max(4, int(expected * 0.25))
+        assert hi == int(expected * 2.0)
+        assert lo < expected < hi
+
+    def test_paper_proportions(self):
+        """The paper keeps 50-400 counts for ~200 expected per 500 us."""
+        cfg = ScannerConfig()
+        lo, hi = cfg.count_bounds(2.0)
+        assert 30 <= lo <= 80
+        assert 300 <= hi <= 500
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ScannerConfig().trace_us = 1.0
+
+
+class TestScanResult:
+    def test_rate_and_seconds(self):
+        result = ScanResult(
+            found=True, evset=None, trace=None,
+            elapsed_cycles=2_000_000_000, sets_scanned=500, sweeps=3,
+        )
+        assert result.elapsed_seconds(2.0) == pytest.approx(1.0)
+        assert result.scan_rate_sets_per_s(2.0) == pytest.approx(500.0)
+
+    def test_zero_elapsed_rate(self):
+        result = ScanResult(
+            found=False, evset=None, trace=None,
+            elapsed_cycles=0, sets_scanned=0, sweeps=0,
+        )
+        assert result.scan_rate_sets_per_s(2.0) == 0.0
+
+
+class TestAttackReport:
+    def _score(self, recovered, total, errors=0):
+        return ExtractionScore(
+            n_true_bits=total, n_recovered=recovered, n_errors=errors
+        )
+
+    def test_phase_totals(self):
+        report = AttackReport(
+            target_identified=True,
+            evset_build_cycles=100,
+            scan_cycles=200,
+            collect_cycles=300,
+        )
+        assert report.total_cycles == 600
+        assert report.total_seconds(2.0) == pytest.approx(600 / 2e9)
+
+    def test_median_and_mean_fractions(self):
+        report = AttackReport(target_identified=True)
+        report.scores = [
+            self._score(50, 100), self._score(80, 100), self._score(90, 100)
+        ]
+        assert report.median_recovered_fraction == pytest.approx(0.8)
+        assert report.mean_recovered_fraction == pytest.approx(220 / 300)
+
+    def test_ber_ignores_empty_recoveries(self):
+        report = AttackReport(target_identified=True)
+        report.scores = [self._score(0, 100), self._score(50, 100, errors=5)]
+        assert report.mean_bit_error_rate == pytest.approx(0.1)
+
+    def test_empty_scores(self):
+        report = AttackReport(target_identified=False)
+        assert report.median_recovered_fraction == 0.0
+        assert report.mean_bit_error_rate == 0.0
+
+
+class TestAttackConfig:
+    def test_defaults(self):
+        cfg = AttackConfig()
+        assert cfg.algorithm == "bins"
+        assert cfg.n_traces == 10
+        assert cfg.evset.budget_ms == 100.0  # filtered budget
+
+    def test_extraction_defaults_match_victim(self):
+        cfg = AttackConfig()
+        assert cfg.extraction.iter_cycles == 9700

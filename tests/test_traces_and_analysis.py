@@ -1,0 +1,108 @@
+"""Tests for AccessTrace and the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Summary,
+    Table,
+    cdf_points,
+    format_seconds,
+    paper_vs_measured,
+    summarize,
+)
+from repro.core.traces import AccessTrace
+from repro.errors import ReproError
+
+
+class TestAccessTrace:
+    def test_basic_properties(self):
+        trace = AccessTrace(timestamps=[10, 20, 35], start=0, end=100)
+        assert len(trace) == 3
+        assert trace.duration == 100
+        assert trace.access_count() == 3
+
+    def test_duration_us(self):
+        trace = AccessTrace(timestamps=[], start=0, end=2_000_000)
+        assert trace.duration_us(2.0) == pytest.approx(1000.0)
+
+    def test_gaps(self):
+        trace = AccessTrace(timestamps=[10, 30, 70], start=0, end=100)
+        assert list(trace.inter_access_gaps()) == [20.0, 40.0]
+
+    def test_gaps_empty(self):
+        trace = AccessTrace(timestamps=[5], start=0, end=10)
+        assert trace.inter_access_gaps().size == 0
+
+    def test_relative_timestamps(self):
+        trace = AccessTrace(timestamps=[110, 120], start=100, end=200)
+        assert list(trace.relative_timestamps()) == [10.0, 20.0]
+
+    def test_slice(self):
+        trace = AccessTrace(timestamps=[10, 50, 90], start=0, end=100)
+        sub = trace.slice(40, 95)
+        assert sub.timestamps == [50, 90]
+        assert sub.start == 40
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ReproError):
+            AccessTrace(timestamps=[], start=10, end=10)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.n == 0 and s.mean == 0.0
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_scaled(self):
+        s = summarize([10.0, 20.0]).scaled(0.1)
+        assert s.mean == pytest.approx(1.5)
+        assert s.n == 2
+
+    def test_p95(self):
+        s = summarize(list(range(101)))
+        assert s.p95 == pytest.approx(95.0)
+
+
+class TestCdf:
+    def test_monotone(self):
+        pts = cdf_points([3.0, 1.0, 2.0])
+        values = [v for v, _ in pts]
+        fracs = [f for _, f in pts]
+        assert values == sorted(values)
+        assert fracs == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+
+class TestTable:
+    def test_render_aligns(self):
+        t = Table("demo", ["a", "long-column"])
+        t.add_row("1", "2")
+        t.add_row("333", "4")
+        out = t.render()
+        assert "demo" in out
+        lines = out.splitlines()
+        assert len({len(l) for l in lines[1:2]}) == 1
+
+    def test_rejects_wrong_arity(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert "us" in format_seconds(5e-6)
+        assert "ms" in format_seconds(5e-3)
+        assert format_seconds(5.0) == "5.00 s"
+        assert "min" in format_seconds(600.0)
+
+    def test_paper_vs_measured(self):
+        assert paper_vs_measured("a", "b") == "paper a | measured b"

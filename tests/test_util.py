@@ -1,0 +1,152 @@
+"""Tests for repro._util (RNG, distributions, statistics, chunking)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    chunked,
+    exponential,
+    make_rng,
+    mean,
+    median,
+    percentile,
+    poisson,
+    spawn_rng,
+    stddev,
+)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_make_rng_accepts_tuples(self):
+        a = make_rng(("machine", 1))
+        b = make_rng(("machine", 1))
+        assert a.random() == b.random()
+
+    def test_make_rng_distinguishes_tuples(self):
+        assert make_rng(("a", 1)).random() != make_rng(("a", 2)).random()
+
+    def test_spawn_rng_independent_streams(self):
+        parent = make_rng(0)
+        child_a = spawn_rng(parent, "a")
+        parent2 = make_rng(0)
+        child_a2 = spawn_rng(parent2, "a")
+        assert child_a.random() == child_a2.random()
+
+    def test_spawn_rng_differs_by_tag(self):
+        parent = make_rng(0)
+        a = spawn_rng(parent, "a")
+        parent = make_rng(0)
+        b = spawn_rng(parent, "b")
+        assert a.random() != b.random()
+
+
+class TestPoisson:
+    def test_zero_rate(self):
+        assert poisson(make_rng(1), 0.0) == 0
+
+    def test_negative_rate(self):
+        assert poisson(make_rng(1), -1.0) == 0
+
+    @pytest.mark.parametrize("lam", [0.5, 3.0, 20.0, 100.0])
+    def test_mean_matches(self, lam):
+        rng = make_rng(123)
+        n = 4000
+        draws = [poisson(rng, lam) for _ in range(n)]
+        observed = sum(draws) / n
+        assert observed == pytest.approx(lam, rel=0.1)
+
+    @pytest.mark.parametrize("lam", [2.0, 50.0])
+    def test_variance_matches(self, lam):
+        rng = make_rng(5)
+        n = 6000
+        draws = [poisson(rng, lam) for _ in range(n)]
+        mu = sum(draws) / n
+        var = sum((d - mu) ** 2 for d in draws) / n
+        assert var == pytest.approx(lam, rel=0.15)
+
+    def test_non_negative(self):
+        rng = make_rng(9)
+        assert all(poisson(rng, 70.0) >= 0 for _ in range(500))
+
+
+class TestExponential:
+    def test_zero_rate_is_infinite(self):
+        assert exponential(make_rng(0), 0.0) == math.inf
+
+    def test_mean(self):
+        rng = make_rng(2)
+        draws = [exponential(rng, 4.0) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.25, rel=0.1)
+
+
+class TestStats:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_stddev_constant(self):
+        assert stddev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_stddev_known(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_percentile_bounds(self):
+        vals = list(range(101))
+        assert percentile(vals, 0) == 0
+        assert percentile(vals, 100) == 100
+        assert percentile(vals, 50) == 50
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_front_loaded(self):
+        groups = chunked(list(range(7)), 3)
+        assert [len(g) for g in groups] == [3, 2, 2]
+
+    def test_more_chunks_than_items(self):
+        groups = chunked([1, 2], 4)
+        assert [len(g) for g in groups] == [1, 1, 0, 0]
+
+    def test_preserves_order_and_content(self):
+        items = list(range(23))
+        groups = chunked(items, 5)
+        assert [x for g in groups for x in g] == items
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+    @given(st.lists(st.integers(), max_size=60), st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_property_partition(self, items, n):
+        groups = chunked(items, n)
+        assert len(groups) == n
+        assert [x for g in groups for x in g] == items
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1

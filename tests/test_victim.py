@@ -1,0 +1,174 @@
+"""Tests for the ECDSA victim model and its leak schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import make_rng
+from repro.config import no_noise, skylake_sp_small
+from repro.crypto.ecdsa import recover_nonce, verify
+from repro.errors import ConfigurationError
+from repro.memsys.address import AddressSpace
+from repro.memsys.machine import Machine
+from repro.victim import (
+    EcdsaVictim,
+    VictimConfig,
+    VictimLayout,
+    expected_target_frequency,
+    run_victim_alone,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine(skylake_sp_small(), noise=no_noise(), seed=13)
+
+
+@pytest.fixture
+def victim(machine):
+    return EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=4)
+
+
+class TestLayout:
+    def test_monitored_offset_unique(self, machine):
+        layout = VictimLayout(machine.new_address_space(), make_rng(0))
+        mon_off = layout.monitored_va % 4096
+        others = [va % 4096 for va in layout.ladder_vas + layout.data_vas]
+        assert mon_off not in others
+
+    def test_target_page_offset_line_aligned(self, machine):
+        layout = VictimLayout(machine.new_address_space(), make_rng(1))
+        assert layout.target_page_offset % 64 == 0
+
+    def test_physical_views_consistent(self, machine):
+        layout = VictimLayout(machine.new_address_space(), make_rng(2))
+        assert layout.monitored_line == layout.aspace.translate_line(
+            layout.monitored_va
+        )
+        assert len(layout.ladder_lines_physical()) == len(layout.ladder_vas)
+
+    def test_rejects_too_few_pages(self, machine):
+        with pytest.raises(ConfigurationError):
+            VictimLayout(machine.new_address_space(), make_rng(3), code_pages=1)
+
+
+class TestVictimConfig:
+    def test_access_period_half_iteration(self):
+        cfg = VictimConfig()
+        assert cfg.access_period_cycles == cfg.iter_cycles / 2
+
+    def test_expected_frequency_matches_paper(self):
+        """2 GHz / 4,850 cycles ~= 0.41 MHz (Section 6.2)."""
+        f = expected_target_frequency(VictimConfig(), 2e9)
+        assert f == pytest.approx(0.4124e6, rel=0.01)
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            VictimConfig(duty_cycle=0.0)
+
+    def test_rejects_excessive_jitter(self):
+        with pytest.raises(ConfigurationError):
+            VictimConfig(iter_cycles=100, iter_jitter=60)
+
+
+class TestSigningSchedule:
+    def test_ground_truth_shape(self, machine, victim):
+        truth = victim.schedule_signing(machine.now + 100)
+        assert truth.n_bits == len(truth.boundaries) - 1
+        assert truth.boundaries[0] == truth.start
+        assert truth.boundaries[-1] == truth.end
+        assert truth.n_bits >= victim.curve.nonce_bits - 8
+
+    def test_bits_match_nonce(self, machine, victim):
+        truth = victim.schedule_signing(machine.now + 100)
+        k = truth.nonce
+        expected = [
+            (k >> i) & 1 for i in range(k.bit_length() - 2, -1, -1)
+        ]
+        assert truth.bits == expected
+
+    def test_iteration_durations_in_range(self, machine, victim):
+        truth = victim.schedule_signing(machine.now + 100)
+        cfg = victim.cfg
+        for a, b in zip(truth.boundaries, truth.boundaries[1:]):
+            assert cfg.iter_cycles - cfg.iter_jitter <= b - a
+            assert b - a <= cfg.iter_cycles + cfg.iter_jitter
+
+    def test_monitored_line_access_pattern(self, machine, victim):
+        """Boundary fetch every iteration; midpoint fetch for 0 bits."""
+        mon = victim.layout.monitored_line
+        hits = []
+        hier = machine.hierarchy
+        orig = hier.access
+
+        def spy(core, line, now, write=False, reconcile=True):
+            if core == victim.core and line == mon:
+                hits.append(now)
+            return orig(core, line, now, write=write, reconcile=reconcile)
+
+        hier.access = spy
+        truth = victim.schedule_signing(machine.now + 100)
+        machine.run_until(truth.end + 1)
+        zeros = truth.bits.count(0)
+        # One fetch per boundary (incl. the loop-exit check) + one per 0 bit.
+        assert len(hits) == truth.n_bits + 1 + zeros
+
+    def test_real_signing_produces_valid_signature(self, machine, victim):
+        truth = victim.schedule_signing(machine.now + 100, real=True)
+        assert truth.signature is not None
+        assert verify(
+            victim.curve, victim.keypair.public_point, truth.message,
+            truth.signature,
+        )
+        # The recorded nonce is the real one.
+        assert (
+            recover_nonce(
+                victim.curve, truth.message, truth.signature, victim.keypair.d
+            )
+            == truth.nonce
+        )
+
+    def test_fast_mode_skips_signature(self, machine, victim):
+        truth = victim.schedule_signing(machine.now + 100, real=False)
+        assert truth.signature is None
+        assert 1 <= truth.nonce < victim.curve.n
+
+
+class TestSessions:
+    def test_session_duty_cycle(self, machine, victim):
+        start = machine.now + 100
+        end = victim.schedule_session(start)
+        truth = victim.truths[-1]
+        signing = truth.end - truth.start
+        assert signing / (end - start) == pytest.approx(
+            victim.cfg.duty_cycle, rel=0.2
+        )
+
+    def test_run_continuously_self_schedules(self, machine, victim):
+        victim.run_continuously(machine.now + 10)
+        machine.advance(30_000_000)
+        assert len(victim.truths) >= 2
+
+    def test_stop_halts_scheduling(self, machine, victim):
+        victim.run_continuously(machine.now + 10)
+        machine.advance(15_000_000)
+        victim.stop()
+        count = len(victim.truths)
+        machine.advance(50_000_000)
+        assert len(victim.truths) <= count + 1  # at most one in-flight session
+
+    def test_run_victim_alone(self, machine, victim):
+        truths = run_victim_alone(machine, victim, n_signings=2)
+        assert len(truths) == 2
+        assert truths[1].start > truths[0].end
+
+
+class TestDeterminism:
+    def test_same_seed_same_nonces(self):
+        def nonces(seed):
+            m = Machine(skylake_sp_small(), noise=no_noise(), seed=1)
+            v = EcdsaVictim(m, core=2, seed=seed)
+            return [v.schedule_signing(1000 + i * 10**7).nonce for i in range(3)]
+
+        assert nonces(9) == nonces(9)
+        assert nonces(9) != nonces(10)
