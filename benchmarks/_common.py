@@ -6,99 +6,78 @@ substitution) and prints the paper's numbers next to the measured ones.
 Absolute values differ — the substrate is a scaled simulator, not the
 authors' Cloud Run fleet — but the *shape* comparisons the paper draws
 must hold, and each benchmark asserts the key ones.
+
+Trial fan-out runs on the :mod:`repro.exec` campaign engine: set
+``REPRO_JOBS=N`` to spread trials over N worker processes (results are
+bit-identical to serial runs) and ``REPRO_JOURNAL_DIR=path`` to journal
+finished trials so a re-invocation resumes instead of recomputing.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro._util import mean, median, stddev
-from repro.analysis import Table, format_seconds
-from repro.config import (
-    MachineConfig,
-    NoiseConfig,
-    cloud_run_noise,
-    cloud_run_quiet_hours_noise,
-    exposure_matched,
-    icelake_sp_small,
-    quiescent_local_noise,
-    skylake_sp_small,
-    skylake_sp_small_local,
+# Re-exported so benchmark modules keep their historical imports.
+from repro.analysis import Table, format_seconds  # noqa: F401
+from repro.config import MachineConfig, NoiseConfig  # noqa: F401
+from repro.core.evset import EvsetConfig
+from repro.envs import (  # noqa: F401
+    ENVIRONMENTS,
+    cloud_machine_cfg,
+    icelake_machine_cfg,
+    local_machine_cfg,
+    make_custom_env,
+    make_env,
+    make_victim_env,
 )
-from repro.core.context import AttackerContext
-from repro.core.evset import EvsetConfig, build_candidate_set, construct_sf_evset
-from repro.memsys.machine import Machine
-from repro.victim import EcdsaVictim, VictimConfig
-
-#: Default page offset used when a benchmark needs an arbitrary one.
-PAGE_OFFSET = 0x240
-
-
-def cloud_machine_cfg() -> MachineConfig:
-    """The scaled stand-in for the Cloud Run Xeon Platinum 8173M."""
-    return skylake_sp_small()
+from repro.exec import (
+    CampaignJournal,
+    ConstructionSample,
+    ExecPolicy,
+    construction_campaign,
+    grid_campaign,
+    run_campaign,
+    summarize_construction_samples,
+)
+from repro.exec.campaigns import PAGE_OFFSET  # noqa: F401
 
 
-def local_machine_cfg() -> MachineConfig:
-    """The scaled stand-in for the local Xeon Gold 6152 (fewer slices)."""
-    return skylake_sp_small_local()
+def exec_jobs(default: int = 1) -> int:
+    """Worker count for benchmark campaigns (``REPRO_JOBS``, default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return default
+    jobs = int(raw)
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
 
 
-def icelake_machine_cfg() -> MachineConfig:
-    """The scaled stand-in for the Ice Lake Xeon Gold 5320."""
-    return icelake_sp_small()
+def _journal_for(campaign) -> Optional[CampaignJournal]:
+    """A journal when ``REPRO_JOURNAL_DIR`` is set, else None."""
+    directory = os.environ.get("REPRO_JOURNAL_DIR", "").strip()
+    if not directory:
+        return None
+    return CampaignJournal(directory, campaign)
 
 
-#: Environment name -> (machine config factory, noise factory, matched?).
-#: "Matched" environments scale the noise rate so per-TestEviction exposure
-#: corresponds to the paper's full-scale machines (see
-#: repro.config.exposure_matched).
-ENVIRONMENTS = {
-    "local": (local_machine_cfg, quiescent_local_noise, True),
-    "cloud": (cloud_machine_cfg, cloud_run_noise, True),
-    "cloud-quiet": (cloud_machine_cfg, cloud_run_quiet_hours_noise, True),
-    # Raw (unscaled) rates: correct for monitoring-side experiments whose
-    # exposure windows don't shrink with the geometry.
-    "cloud-raw": (cloud_machine_cfg, cloud_run_noise, False),
-    "local-raw": (local_machine_cfg, quiescent_local_noise, False),
-}
+def run_benchmark_campaign(
+    name: str,
+    fn,
+    runs: Sequence[Tuple[object, int]],
+    jobs: Optional[int] = None,
+    codec=None,
+) -> List[object]:
+    """Fan ``fn`` out over explicit (config, seed) runs; results in order.
 
-
-def make_env(env: str, seed: int) -> Tuple[Machine, AttackerContext]:
-    """A machine + calibrated attacker context for a named environment."""
-    cfg_factory, noise_factory, matched = ENVIRONMENTS[env]
-    cfg = cfg_factory()
-    noise = noise_factory()
-    if matched:
-        noise = exposure_matched(noise, cfg)
-    machine = Machine(cfg, noise=noise, seed=seed)
-    ctx = AttackerContext(machine, seed=seed * 7 + 1)
-    ctx.calibrate()
-    return machine, ctx
-
-
-def make_victim_env(
-    env: str, seed: int, victim_cfg: Optional[VictimConfig] = None
-) -> Tuple[Machine, AttackerContext, EcdsaVictim]:
-    """Environment plus a victim container pinned to core 2."""
-    machine, ctx = make_env(env, seed)
-    victim = EcdsaVictim(
-        machine, core=2, cfg=victim_cfg or VictimConfig(), seed=seed + 100
-    )
-    return machine, ctx, victim
-
-
-@dataclasses.dataclass
-class ConstructionSample:
-    """One eviction-set construction trial's outcome."""
-
-    success: bool
-    valid: bool
-    elapsed_ms: float
-    tests: int
-    backtracks: int
-    traversed: int
+    The engine keeps results independent of worker count; any trial
+    failure is re-raised, matching the historical serial loops.
+    """
+    campaign = grid_campaign(fn, runs, name=name, codec=codec)
+    policy = ExecPolicy(jobs=jobs if jobs is not None else exec_jobs())
+    result = run_campaign(campaign, policy, journal=_journal_for(campaign))
+    return result.raise_on_failure().values()
 
 
 def run_single_set_trials(
@@ -107,40 +86,26 @@ def run_single_set_trials(
     trials: int,
     evset_cfg: EvsetConfig,
     base_seed: int = 1000,
+    jobs: Optional[int] = None,
+    filtered: bool = False,
 ) -> List[ConstructionSample]:
     """Repeated SingleSet SF constructions, fresh machine per trial."""
-    samples = []
-    for i in range(trials):
-        machine, ctx = make_env(env, seed=base_seed + i)
-        cand = build_candidate_set(ctx, PAGE_OFFSET)
-        target = cand.vas.pop()
-        outcome = construct_sf_evset(ctx, algorithm, target, cand.vas, evset_cfg)
-        valid = False
-        if outcome.success:
-            sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
-            valid = len(sets) == 1 and ctx.true_set_of(target) in sets
-        samples.append(
-            ConstructionSample(
-                success=outcome.success,
-                valid=valid,
-                elapsed_ms=outcome.elapsed_ms(machine.cfg.clock_ghz),
-                tests=outcome.stats.tests,
-                backtracks=outcome.stats.backtracks,
-                traversed=outcome.stats.traversed_addresses,
-            )
-        )
-    return samples
+    campaign = construction_campaign(
+        env=env,
+        algorithm=algorithm,
+        trials=trials,
+        evset_cfg=evset_cfg,
+        base_seed=base_seed,
+        filtered=filtered,
+    )
+    policy = ExecPolicy(jobs=jobs if jobs is not None else exec_jobs())
+    result = run_campaign(campaign, policy, journal=_journal_for(campaign))
+    return result.raise_on_failure().values()
 
 
 def summarize_samples(samples: List[ConstructionSample]) -> Dict[str, float]:
     """success rate + avg/std/median time of construction samples."""
-    times = [s.elapsed_ms for s in samples]
-    return {
-        "succ": sum(1 for s in samples if s.valid) / max(1, len(samples)),
-        "avg_ms": mean(times),
-        "std_ms": stddev(times),
-        "med_ms": median(times),
-    }
+    return summarize_construction_samples(samples)
 
 
 def print_header(title: str, paper_context: str) -> None:

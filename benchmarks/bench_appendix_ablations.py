@@ -23,11 +23,10 @@ from __future__ import annotations
 
 import dataclasses
 
-from _common import PAGE_OFFSET, make_env, print_header
+from _common import PAGE_OFFSET, make_custom_env, make_env, print_header
 from repro._util import mean
 from repro.analysis import Table
 from repro.config import cloud_run_noise, no_noise, skylake_sp_small
-from repro.core.context import AttackerContext
 from repro.core.evset import (
     EvsetConfig,
     build_candidate_set,
@@ -35,7 +34,6 @@ from repro.core.evset import (
     construct_sf_evset,
 )
 from repro.core.monitor import make_monitor, monitor_set
-from repro.memsys.machine import Machine
 
 TRIALS = 3
 
@@ -59,9 +57,7 @@ def _avg_time_and_tests(env: str, algo: str) -> tuple:
 def _policy_detection_rate(policy: str, strategy: str, seed: int) -> float:
     cfg = dataclasses.replace(skylake_sp_small(), sf_policy=policy,
                               llc_policy=policy)
-    machine = Machine(cfg, noise=no_noise(), seed=seed)
-    ctx = AttackerContext(machine, seed=seed + 1)
-    ctx.calibrate()
+    machine, ctx = make_custom_env(cfg, noise=no_noise(), seed=seed)
     bulk = bulk_construct_page_offset(
         ctx, "bins", 0x100, EvsetConfig(budget_ms=400, max_attempts=20)
     )
@@ -139,9 +135,9 @@ def run_ablations() -> dict:
     ):
         ok = 0
         for i in range(TRIALS):
-            machine = Machine(base_cfg, noise=noise, seed=840 + i)
-            ctx = AttackerContext(machine, seed=2)
-            ctx.calibrate()
+            machine, ctx = make_custom_env(
+                base_cfg, noise=noise, seed=840 + i, ctx_seed=2
+            )
             cand = build_candidate_set(ctx, PAGE_OFFSET)
             target = cand.vas.pop()
             outcome = construct_sf_evset(

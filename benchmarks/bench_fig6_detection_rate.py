@@ -16,7 +16,7 @@ latency dominates); Parallel highest at every interval.
 
 from __future__ import annotations
 
-from _common import make_env, print_header
+from _common import make_env, print_header, run_benchmark_campaign
 from repro.analysis import Table
 from repro.core.evset import EvsetConfig, bulk_construct_page_offset
 from repro.core.monitor import make_monitor, monitor_set
@@ -78,25 +78,48 @@ def _detection_rate(env_seed, strategy, interval, accesses=120) -> float:
     return detected / len(times)
 
 
+def detection_trial(cfg: dict, seed: int) -> float:
+    """Campaign-engine wrapper: one (strategy, interval) detection run."""
+    return _detection_rate(
+        seed, cfg["strategy"], cfg["interval"], accesses=cfg["accesses"]
+    )
+
+
 def run_fig6() -> dict:
     print_header(
         "Figure 6: detection rate vs. sender access interval",
         "Paper: Parallel 84% at 2k cycles vs PS-Flush 15% / PS-Alt 6%.",
     )
-    rates = {}
     table = Table(
         "Figure 6 (detection rate %, cloud machine)",
         ["Interval (cycles)"] + [s.upper() for s in STRATEGIES],
     )
+    # Fewer sender accesses at the longest intervals to bound runtime.
+    grid = [
+        (interval, strategy)
+        for interval in INTERVALS for strategy in STRATEGIES
+    ]
+    runs = [
+        (
+            {
+                "strategy": strategy,
+                "interval": interval,
+                "accesses": 80 if interval <= 20_000 else 50,
+            },
+            66,
+        )
+        for interval, strategy in grid
+    ]
+    measured = run_benchmark_campaign("fig6-detection", detection_trial, runs)
+    rates = {
+        (strategy, interval): rate
+        for (interval, strategy), rate in zip(grid, measured)
+    }
     for interval in INTERVALS:
-        row = [str(interval)]
-        # Fewer sender accesses at the longest interval to bound runtime.
-        n = 80 if interval <= 20_000 else 50
-        for strategy in STRATEGIES:
-            rate = _detection_rate(66, strategy, interval, accesses=n)
-            rates[(strategy, interval)] = rate
-            row.append(f"{rate * 100:.0f}%")
-        table.add_row(*row)
+        table.add_row(
+            str(interval),
+            *(f"{rates[(s, interval)] * 100:.0f}%" for s in STRATEGIES),
+        )
     table.print()
     print("Paper endpoints: 2k cycles -> 84.1/15.4/6.0; "
           "100k cycles -> 91.1/82.1/36.9 (parallel/ps-flush/ps-alt)\n")

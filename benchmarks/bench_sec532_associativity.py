@@ -19,11 +19,15 @@ Expected shape: every GT*/BinS time ratio grows from Skylake to Ice Lake.
 
 from __future__ import annotations
 
-from _common import PAGE_OFFSET, icelake_machine_cfg, print_header
+from _common import (
+    PAGE_OFFSET,
+    icelake_machine_cfg,
+    make_custom_env,
+    print_header,
+)
 from repro._util import mean
 from repro.analysis import Table
 from repro.config import no_noise, skylake_sp_small
-from repro.core.context import AttackerContext
 from repro.core.evset import (
     EvsetConfig,
     build_candidate_set,
@@ -31,7 +35,6 @@ from repro.core.evset import (
     construct_sf_evset,
 )
 from repro.core.evset.filtering import build_l2_eviction_set, filter_candidates
-from repro.memsys.machine import Machine
 
 ALGOS = ["gt", "gtop", "bins"]
 TRIALS = 4
@@ -47,10 +50,7 @@ PAPER_RATIOS = {
 
 def _machine(kind: str, seed: int):
     cfg = skylake_sp_small() if kind == "skylake" else icelake_machine_cfg()
-    machine = Machine(cfg, noise=no_noise(), seed=seed)
-    ctx = AttackerContext(machine, seed=seed + 1)
-    ctx.calibrate()
-    return machine, ctx
+    return make_custom_env(cfg, noise=no_noise(), seed=seed)
 
 
 def _sf_time(kind: str, algo: str, seed: int) -> float:

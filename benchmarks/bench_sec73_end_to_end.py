@@ -17,7 +17,7 @@ collection, in seconds of simulated time.
 
 from __future__ import annotations
 
-from _common import make_victim_env, print_header
+from _common import make_victim_env, print_header, run_benchmark_campaign
 from repro._util import mean, median
 from repro.analysis import Table, format_seconds
 from repro.core.evset import EvsetConfig
@@ -32,9 +32,14 @@ from repro.core.evset import bulk_construct_page_offset
 PAIRS = 3
 N_TRACES = 4
 
+#: Trained once, offline, and inherited by forked campaign workers.
+_CLASSIFIER_CACHE = {}
+
 
 def _train_offline_classifier(seed: int) -> TargetSetClassifier:
     """Train the SVM on a controlled host (the paper's offline phase)."""
+    if seed in _CLASSIFIER_CACHE:
+        return _CLASSIFIER_CACHE[seed]
     machine, ctx, victim = make_victim_env("cloud-raw", seed=seed)
     scfg = ScannerConfig()
     bulk = bulk_construct_page_offset(
@@ -42,10 +47,33 @@ def _train_offline_classifier(seed: int) -> TargetSetClassifier:
     )
     target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
     victim.run_continuously(machine.now + 1000)
-    traces, labels = collect_labeled_traces(
+    clf_traces, labels = collect_labeled_traces(
         ctx, bulk.evsets, target_set, scfg, per_set=2
     )
-    return TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
+    clf = TargetSetClassifier(machine.clock_hz, scfg).fit(clf_traces, labels)
+    _CLASSIFIER_CACHE[seed] = clf
+    return clf
+
+
+def _pair_trial(cfg: dict, seed: int) -> dict:
+    """One co-located attacker/victim pair's full Steps 1-3 attack."""
+    classifier = _train_offline_classifier(cfg["classifier_seed"])
+    acfg = AttackConfig(
+        n_traces=cfg["n_traces"], scan_timeout_s=cfg["scan_timeout_s"]
+    )
+    machine, ctx, victim = make_victim_env("cloud-raw", seed=seed)
+    victim.run_continuously(machine.now + 1000)
+    report = run_end_to_end(ctx, victim, classifier, acfg)
+    ghz = machine.cfg.clock_ghz
+    return {
+        "identified": report.target_identified,
+        "fracs": [s.recovered_fraction for s in report.scores],
+        "bers": [s.bit_error_rate for s in report.scores if s.n_recovered],
+        "evset_s": report.evset_build_cycles / (ghz * 1e9),
+        "scan_s": report.scan_cycles / (ghz * 1e9),
+        "collect_s": report.collect_cycles / (ghz * 1e9),
+        "total_s": report.total_seconds(ghz),
+    }
 
 
 def run_sec73() -> dict:
@@ -53,39 +81,36 @@ def run_sec73() -> dict:
         "Section 7.3: end-to-end cross-tenant nonce extraction",
         "Paper: median 81% of nonce bits, 3% BER, ~19 s per attack.",
     )
-    classifier = _train_offline_classifier(seed=700)
-    cfg = AttackConfig(n_traces=N_TRACES, scan_timeout_s=1.0)
+    # Train in the parent so forked campaign workers inherit the model.
+    _train_offline_classifier(seed=700)
+    cfg = {"classifier_seed": 700, "n_traces": N_TRACES, "scan_timeout_s": 1.0}
 
     table = Table(
         "Section 7.3 (per co-located pair)",
         ["Pair", "Target found", "Evset build", "Scan", "Collect",
          "Total (sim)", "Median bits recovered", "Mean BER"],
     )
+    runs = [(cfg, 710 + pair) for pair in range(PAIRS)]
+    outcomes = run_benchmark_campaign("sec73-pairs", _pair_trial, runs)
     identified = 0
     all_fracs = []
     all_bers = []
     totals = []
-    for pair in range(PAIRS):
-        machine, ctx, victim = make_victim_env("cloud-raw", seed=710 + pair)
-        victim.run_continuously(machine.now + 1000)
-        report = run_end_to_end(ctx, victim, classifier, cfg)
-        ghz = machine.cfg.clock_ghz
-        if report.target_identified:
+    for pair, out in enumerate(outcomes):
+        if out["identified"]:
             identified += 1
-        fracs = [s.recovered_fraction for s in report.scores]
-        bers = [s.bit_error_rate for s in report.scores if s.n_recovered]
-        all_fracs.extend(fracs)
-        all_bers.extend(bers)
-        totals.append(report.total_seconds(ghz))
+        all_fracs.extend(out["fracs"])
+        all_bers.extend(out["bers"])
+        totals.append(out["total_s"])
         table.add_row(
             pair,
-            "yes" if report.target_identified else "no",
-            format_seconds(report.evset_build_cycles / (ghz * 1e9)),
-            format_seconds(report.scan_cycles / (ghz * 1e9)),
-            format_seconds(report.collect_cycles / (ghz * 1e9)),
-            format_seconds(report.total_seconds(ghz)),
-            f"{median(fracs) * 100:.0f}%" if fracs else "-",
-            f"{mean(bers) * 100:.1f}%" if bers else "-",
+            "yes" if out["identified"] else "no",
+            format_seconds(out["evset_s"]),
+            format_seconds(out["scan_s"]),
+            format_seconds(out["collect_s"]),
+            format_seconds(out["total_s"]),
+            f"{median(out['fracs']) * 100:.0f}%" if out["fracs"] else "-",
+            f"{mean(out['bers']) * 100:.1f}%" if out["bers"] else "-",
         )
     table.print()
     med_frac = median(all_fracs)

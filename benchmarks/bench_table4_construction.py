@@ -17,14 +17,15 @@ PageOffset with filtering amortized once.
 
 from __future__ import annotations
 
-from _common import make_env, print_header, run_single_set_trials, summarize_samples
-from repro._util import mean
-from repro.analysis import Table, format_seconds
-from repro.core.evset import (
-    EvsetConfig,
-    bulk_construct_page_offset,
-    bulk_construct_whole_sys,
+from _common import (
+    print_header,
+    run_benchmark_campaign,
+    run_single_set_trials,
+    summarize_samples,
 )
+from repro.analysis import Table, format_seconds
+from repro.core.evset import EvsetConfig
+from repro.exec import BulkTrialConfig, bulk_trial
 
 #: With filtering the paper drops the per-set budget to 100 ms.
 CFG = EvsetConfig(budget_ms=100.0)
@@ -53,32 +54,27 @@ WHOLESYS_OFFSETS = [0x0, 0x40, 0x80, 0xC0]
 
 def _singleset_with_filtering(env: str, algo: str, trials: int) -> dict:
     """SingleSet trials where construction includes one filtering pass."""
-    from _common import PAGE_OFFSET, ConstructionSample
-    from repro.core.evset import build_candidate_set, construct_sf_evset
-    from repro.core.evset.filtering import build_l2_eviction_set, filter_candidates
-
-    samples = []
-    for i in range(trials):
-        machine, ctx = make_env(env, seed=4000 + i)
-        cand = build_candidate_set(ctx, PAGE_OFFSET)
-        target = cand.vas.pop()
-        start = machine.now
-        try:
-            l2e = build_l2_eviction_set(ctx, target, CFG)
-            filtered = filter_candidates(ctx, l2e, cand.vas)
-            outcome = construct_sf_evset(ctx, algo, target, filtered, CFG)
-            success = outcome.success
-            valid = False
-            if success:
-                sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
-                valid = len(sets) == 1 and ctx.true_set_of(target) in sets
-        except Exception:
-            success = valid = False
-        elapsed_ms = (machine.now - start) / (machine.cfg.clock_ghz * 1e6)
-        samples.append(
-            ConstructionSample(success, valid, elapsed_ms, 0, 0, 0)
-        )
+    samples = run_single_set_trials(
+        env, algo, trials, CFG, base_seed=4000, filtered=True
+    )
     return summarize_samples(samples)
+
+
+def _bulk_grid(scenario: str, seeds: dict, **cfg_kwargs) -> dict:
+    """Fan one bulk scenario's (env, algo) grid out as a campaign."""
+    grid = [(env, algo) for env in ("local", "cloud") for algo in BULK_ALGOS]
+    runs = [
+        (
+            BulkTrialConfig(
+                env=env, algorithm=algo, scenario=scenario,
+                evset_cfg=CFG, **cfg_kwargs,
+            ),
+            seeds[(env, algo)],
+        )
+        for env, algo in grid
+    ]
+    outcomes = run_benchmark_campaign(f"table4-{scenario}", bulk_trial, runs)
+    return {key: out for key, out in zip(grid, outcomes)}
 
 
 def run_table4() -> dict:
@@ -106,34 +102,40 @@ def run_table4() -> dict:
                 format_seconds(summary["avg_ms"] / 1e3),
             )
 
-    for env in ("local", "cloud"):
-        for algo in BULK_ALGOS:
-            machine, ctx = make_env(env, seed=4500 + hash((env, algo)) % 89)
-            result = bulk_construct_page_offset(ctx, algo, 0x240, CFG)
-            rate = result.success_rate(ctx)
-            secs = result.elapsed_seconds(machine.cfg.clock_ghz)
-            measured[("PageOffset", env, algo)] = (rate, secs)
-            p_succ, p_time = PAPER[("PageOffset", env, algo)]
-            table.add_row(
-                "PageOffset", env, algo.upper(), f"{p_succ:.1f}%",
-                f"{rate * 100:.0f}%", p_time, format_seconds(secs),
-            )
+    page_offset_runs = _bulk_grid(
+        "page-offset",
+        {
+            (env, algo): 4500 + hash((env, algo)) % 89
+            for env in ("local", "cloud") for algo in BULK_ALGOS
+        },
+        page_offset=0x240,
+    )
+    for (env, algo), out in page_offset_runs.items():
+        rate, secs = out["rate"], out["seconds"]
+        measured[("PageOffset", env, algo)] = (rate, secs)
+        p_succ, p_time = PAPER[("PageOffset", env, algo)]
+        table.add_row(
+            "PageOffset", env, algo.upper(), f"{p_succ:.1f}%",
+            f"{rate * 100:.0f}%", p_time, format_seconds(secs),
+        )
 
-    for env in ("local", "cloud"):
-        for algo in BULK_ALGOS:
-            machine, ctx = make_env(env, seed=4700 + hash((env, algo)) % 83)
-            result = bulk_construct_whole_sys(
-                ctx, algo, CFG, offsets=WHOLESYS_OFFSETS
-            )
-            rate = result.success_rate(ctx)
-            secs = result.elapsed_seconds(machine.cfg.clock_ghz)
-            measured[("WholeSys", env, algo)] = (rate, secs)
-            p_succ, p_time = PAPER[("WholeSys", env, algo)]
-            table.add_row(
-                f"WholeSys[{len(WHOLESYS_OFFSETS)}/64 offsets]", env,
-                algo.upper(), f"{p_succ:.1f}%", f"{rate * 100:.0f}%",
-                p_time, format_seconds(secs),
-            )
+    whole_sys_runs = _bulk_grid(
+        "whole-sys",
+        {
+            (env, algo): 4700 + hash((env, algo)) % 83
+            for env in ("local", "cloud") for algo in BULK_ALGOS
+        },
+        offsets=tuple(WHOLESYS_OFFSETS),
+    )
+    for (env, algo), out in whole_sys_runs.items():
+        rate, secs = out["rate"], out["seconds"]
+        measured[("WholeSys", env, algo)] = (rate, secs)
+        p_succ, p_time = PAPER[("WholeSys", env, algo)]
+        table.add_row(
+            f"WholeSys[{len(WHOLESYS_OFFSETS)}/64 offsets]", env,
+            algo.upper(), f"{p_succ:.1f}%", f"{rate * 100:.0f}%",
+            p_time, format_seconds(secs),
+        )
     table.print()
     print("NOTE: WholeSys covers a subset of line offsets; full-system time "
           "scales linearly in offsets with filtering amortized once.\n")

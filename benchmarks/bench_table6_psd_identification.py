@@ -19,7 +19,7 @@ sets/s.
 
 from __future__ import annotations
 
-from _common import make_victim_env, print_header
+from _common import make_victim_env, print_header, run_benchmark_campaign
 from repro._util import mean, stddev
 from repro.analysis import Table
 from repro.core.evset import EvsetConfig, bulk_construct_page_offset
@@ -82,30 +82,45 @@ def _attack_setup(seed: int, extra_offsets: int = 0):
     return machine, ctx, victim, evsets, target_set
 
 
-def _scan_trials(scenario: str, trials: int, timeout_s: float, seed0: int):
+def _scan_trial(cfg: dict, seed: int) -> dict:
+    """One PSD scan trial (campaign-engine unit; classifier via fork)."""
     scfg = ScannerConfig()
     classifier = _offline_classifier(scfg)
-    successes = 0
-    times = []
-    rates = []
-    for i in range(trials):
-        extra = WHOLESYS_EXTRA_OFFSETS if scenario == "WholeSys" else 0
-        machine, ctx, victim, evsets, target_set = _attack_setup(
-            seed0 + i, extra_offsets=extra
+    machine, ctx, victim, evsets, target_set = _attack_setup(
+        seed, extra_offsets=cfg["extra_offsets"]
+    )
+    validator = None
+    if cfg["validated"]:
+        acfg = AttackConfig()
+        validator = make_extraction_validator(
+            HeuristicBoundaryClassifier(acfg.extraction), acfg
         )
-        validator = None
-        if scenario == "WholeSys":
-            acfg = AttackConfig()
-            validator = make_extraction_validator(
-                HeuristicBoundaryClassifier(acfg.extraction), acfg
-            )
-        scanner = Scanner(ctx, classifier, scfg, validator=validator)
-        result = scanner.scan(evsets, timeout_s=timeout_s)
-        ok = result.found and ctx.true_set_of(result.evset.target_va) == target_set
-        if ok:
-            successes += 1
-            times.append(result.elapsed_seconds(machine.cfg.clock_ghz))
-        rates.append(result.scan_rate_sets_per_s(machine.cfg.clock_ghz))
+    scanner = Scanner(ctx, classifier, scfg, validator=validator)
+    result = scanner.scan(evsets, timeout_s=cfg["timeout_s"])
+    ok = result.found and ctx.true_set_of(result.evset.target_va) == target_set
+    return {
+        "ok": ok,
+        "secs": result.elapsed_seconds(machine.cfg.clock_ghz) if ok else None,
+        "rate": result.scan_rate_sets_per_s(machine.cfg.clock_ghz),
+    }
+
+
+def _scan_trials(scenario: str, trials: int, timeout_s: float, seed0: int):
+    # Train once in the parent, like the paper's offline SVM; forked
+    # campaign workers inherit the cache instead of retraining.
+    _offline_classifier(ScannerConfig())
+    cfg = {
+        "extra_offsets": WHOLESYS_EXTRA_OFFSETS if scenario == "WholeSys" else 0,
+        "validated": scenario == "WholeSys",
+        "timeout_s": timeout_s,
+    }
+    runs = [(cfg, seed0 + i) for i in range(trials)]
+    outcomes = run_benchmark_campaign(
+        f"table6-{scenario.lower()}", _scan_trial, runs
+    )
+    successes = sum(1 for o in outcomes if o["ok"])
+    times = [o["secs"] for o in outcomes if o["ok"]]
+    rates = [o["rate"] for o in outcomes]
     return successes / trials, times, mean(rates)
 
 

@@ -4,13 +4,16 @@ Every benchmark uses these helpers to print its paper-vs-measured rows in
 a uniform format (see EXPERIMENTS.md for the collected output).
 """
 
+from .progress import CampaignMetrics, format_progress
 from .stats import Summary, cdf_points, summarize
 from .reporting import Table, format_seconds, paper_vs_measured
 
 __all__ = [
+    "CampaignMetrics",
     "Summary",
     "Table",
     "cdf_points",
+    "format_progress",
     "format_seconds",
     "paper_vs_measured",
     "summarize",

@@ -1,0 +1,74 @@
+"""Campaign progress metrics: the numbers a long-running fan-out reports.
+
+:mod:`repro.exec` executes campaigns of seeded trials; while one runs (and
+after it finishes) it summarizes itself with a :class:`CampaignMetrics`
+snapshot — trials completed, throughput, ETA, failure counts.  The
+formatting lives here, next to the other reporting helpers, so every
+surface (benchmark harness, CLI, journal summaries) renders progress the
+same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .reporting import format_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignMetrics:
+    """A snapshot of a campaign's execution state.
+
+    ``completed`` counts trials actually executed this run; ``cached``
+    counts journal hits that were not re-run; ``failed`` counts every
+    unsuccessful outcome (in-trial exception, timeout, crashed worker);
+    ``retried`` counts extra attempts beyond the first across all trials.
+    """
+
+    total: int
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    pool_restarts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def done(self) -> int:
+        """Trials accounted for, whether executed or cached."""
+        return self.completed + self.cached
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done)
+
+    @property
+    def trials_per_s(self) -> float:
+        """Executed-trial throughput (cache hits excluded)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds to finish the remaining trials."""
+        rate = self.trials_per_s
+        if rate <= 0.0:
+            return float("inf") if self.remaining else 0.0
+        return self.remaining / rate
+
+
+def format_progress(metrics: CampaignMetrics, label: str = "campaign") -> str:
+    """One-line progress report, e.g. for a live ``\\r``-refreshed status."""
+    parts = [f"{label}: {metrics.done}/{metrics.total} trials"]
+    if metrics.cached:
+        parts.append(f"{metrics.cached} cached")
+    if metrics.trials_per_s > 0.0:
+        parts.append(f"{metrics.trials_per_s:.2f} trials/s")
+    if metrics.remaining and metrics.eta_s != float("inf"):
+        parts.append(f"ETA {format_seconds(metrics.eta_s)}")
+    if metrics.failed:
+        parts.append(f"{metrics.failed} failed")
+    if metrics.retried:
+        parts.append(f"{metrics.retried} retried")
+    return " | ".join(parts)

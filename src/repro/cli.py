@@ -4,12 +4,18 @@ Usage (also via ``python -m repro``):
 
     python -m repro machines                 # list machine presets
     python -m repro noise                    # list noise presets
-    python -m repro evset --algo bins --env cloud --trials 3
+    python -m repro evset --algo bins --env cloud --trials 8 --jobs 4
     python -m repro monitor --duration-us 500 --env cloud
     python -m repro attack --traces 3
+    python -m repro campaign --name construction --campaign-env cloud \\
+        --algo bins --trials 16 --jobs 4 --journal-dir .repro/journals
 
 Each subcommand builds a fresh simulated environment, runs the stage, and
-prints a short report.  Seeds default to 0 and make runs reproducible.
+prints a short report.  Seeds default to 0 and make runs reproducible;
+``--jobs N`` fans seeded trials out over N worker processes through
+:mod:`repro.exec` without changing any result.  ``campaign`` runs a named
+trial campaign with journaling: rerunning the same campaign resumes from
+its journal instead of recomputing finished trials.
 """
 
 from __future__ import annotations
@@ -18,23 +24,31 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import Table, format_seconds
+from .analysis import Table, format_progress, format_seconds
 from .config import (
     MACHINE_PRESETS,
     NOISE_PRESETS,
     exposure_matched,
 )
 from .core.context import AttackerContext
-from .core.evset import (
-    EvsetConfig,
-    build_candidate_set,
-    bulk_construct_page_offset,
-    construct_sf_evset,
-)
+from .core.evset import EvsetConfig, bulk_construct_page_offset
 from .core.evset.driver import algorithm_names
 from .core.monitor import ParallelProbing, monitor_set
 from .core.pipeline import AttackConfig, run_end_to_end
 from .core.scanner import ScannerConfig, TargetSetClassifier, collect_labeled_traces
+from .envs import EnvSpec, environment_names
+from .exec import (
+    CampaignJournal,
+    ConstructionSample,
+    ExecPolicy,
+    ProgressReporter,
+    construction_campaign,
+    default_jobs,
+    run_campaign,
+    summarize_construction_samples,
+)
+from .exec.campaigns import CLI_CAMPAIGNS
+from .exec.journal import DEFAULT_JOURNAL_DIR
 from .memsys.machine import Machine
 from .victim import EcdsaVictim, VictimConfig
 
@@ -71,29 +85,40 @@ def cmd_noise(args) -> int:
     return 0
 
 
+def _resolve_jobs(args) -> int:
+    return default_jobs() if args.jobs == 0 else args.jobs
+
+
 def cmd_evset(args) -> int:
     table = Table(
         f"SF eviction-set construction ({args.algo}, {args.env})",
         ["Trial", "Success", "Valid", "Sim time", "TestEvictions"],
     )
+    campaign = construction_campaign(
+        env=EnvSpec(
+            machine=args.machine,
+            noise=args.env,
+            exposure_matched=args.exposure_matched,
+        ),
+        algorithm=args.algo,
+        trials=args.trials,
+        evset_cfg=EvsetConfig(budget_ms=args.budget_ms),
+        base_seed=args.seed,
+        page_offset=args.page_offset,
+    )
+    result = run_campaign(
+        campaign, ExecPolicy(jobs=_resolve_jobs(args))
+    ).raise_on_failure()
     successes = 0
-    for trial in range(args.trials):
-        machine, ctx = _build_env(args)
-        cand = build_candidate_set(ctx, args.page_offset)
-        target = cand.vas.pop()
-        outcome = construct_sf_evset(
-            ctx, args.algo, target, cand.vas, EvsetConfig(budget_ms=args.budget_ms)
-        )
+    for trial, sample in enumerate(result.values()):
         valid = "-"
-        if outcome.success:
-            sets = {ctx.true_set_of(v) for v in outcome.evset.vas}
-            ok = len(sets) == 1 and ctx.true_set_of(target) in sets
-            successes += ok
-            valid = "yes" if ok else "NO"
+        if sample.success:
+            successes += sample.valid
+            valid = "yes" if sample.valid else "NO"
         table.add_row(
-            trial, "yes" if outcome.success else "no", valid,
-            format_seconds(outcome.elapsed_ms(machine.cfg.clock_ghz) / 1e3),
-            outcome.stats.tests,
+            trial, "yes" if sample.success else "no", valid,
+            format_seconds(sample.elapsed_ms / 1e3),
+            sample.tests,
         )
     table.print()
     print(f"valid: {successes}/{args.trials}")
@@ -143,6 +168,53 @@ def cmd_attack(args) -> int:
     return 0 if report.target_identified else 1
 
 
+def cmd_campaign(args) -> int:
+    campaign = CLI_CAMPAIGNS[args.name](args)
+    journal = None
+    if not args.no_journal:
+        journal = CampaignJournal(args.journal_dir, campaign)
+    policy = ExecPolicy(
+        jobs=_resolve_jobs(args),
+        timeout_s=args.timeout_s,
+        max_retries=args.retries,
+    )
+    reporter = ProgressReporter(enabled=args.progress)
+    result = run_campaign(campaign, policy, journal=journal, reporter=reporter)
+
+    print(f"campaign: {campaign.name}")
+    print(f"fingerprint: {result.fingerprint}")
+    if journal is not None:
+        print(f"journal: {journal.path}")
+    print(format_progress(result.metrics, label=campaign.name))
+    values = result.values()
+    if values and isinstance(values[0], ConstructionSample):
+        summary = summarize_construction_samples(values)
+        table = Table(
+            "Construction campaign summary",
+            ["Trials", "Success", "Avg ms", "Std ms", "Med ms"],
+        )
+        table.add_row(
+            len(values),
+            f"{summary['succ'] * 100:.0f}%",
+            f"{summary['avg_ms']:.2f}",
+            f"{summary['std_ms']:.2f}",
+            f"{summary['med_ms']:.2f}",
+        )
+        table.print()
+    elif values and isinstance(values[0], dict):
+        keys = sorted(values[0])
+        table = Table("Campaign results", ["Trial"] + keys)
+        for i, value in enumerate(values):
+            table.add_row(i, *(f"{value.get(k)}" for k in keys))
+        table.print()
+    for failure in result.failures():
+        print(
+            f"trial {failure.index} (seed {failure.seed}) "
+            f"{failure.status}: {failure.error}"
+        )
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -159,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--exposure-matched", action="store_true",
             help="scale the noise rate to match full-scale per-test exposure",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for trial fan-out (0 = all cores); "
+            "results are identical for any value",
         )
 
     sub.add_parser("machines", help="list machine presets").set_defaults(
@@ -182,6 +259,38 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--traces", type=int, default=3)
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a named trial campaign on the parallel engine "
+        "(journaled, resumable)",
+    )
+    p.add_argument("--name", default="construction",
+                   choices=sorted(CLI_CAMPAIGNS))
+    p.add_argument("--campaign-env", default="cloud",
+                   choices=environment_names(),
+                   help="named benchmark environment for the trials")
+    p.add_argument("--algo", default="bins", choices=algorithm_names())
+    p.add_argument("--trials", type=int, default=8)
+    p.add_argument("--budget-ms", type=float, default=1000.0)
+    p.add_argument("--seed", type=int, default=1000,
+                   help="base seed of the campaign's trial seed stream")
+    p.add_argument("--page-offset", type=lambda s: int(s, 0), default=0x240)
+    p.add_argument("--filtered", action="store_true",
+                   help="enable L2-driven candidate filtering (Table 4)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores)")
+    p.add_argument("--timeout-s", type=float, default=None,
+                   help="per-trial wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="resubmissions allowed after worker crashes")
+    p.add_argument("--journal-dir", default=str(DEFAULT_JOURNAL_DIR),
+                   help="JSONL journal directory (reruns resume from it)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the result journal for this run")
+    p.add_argument("--progress", action="store_true",
+                   help="stream live progress (trials/s, ETA) to stderr")
+    p.set_defaults(fn=cmd_campaign)
     return parser
 
 

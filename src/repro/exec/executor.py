@@ -1,0 +1,368 @@
+"""Shared-nothing campaign execution: process-pool fan-out, serial parity.
+
+The engine's contract is *determinism*: a trial's outcome is a pure
+function of its ``(fn, config, seed)`` spec, so the executor may run
+trials in any order on any number of workers and still produce results
+identical to a serial loop.  Everything here is plumbing in service of
+that contract:
+
+* ``jobs > 1`` fans trials out over a ``ProcessPoolExecutor`` (fork
+  context where available, so trial functions defined in scripts and
+  benchmark modules pickle by reference).
+* Per-trial timeouts are enforced *inside* the worker with ``SIGALRM``,
+  so a runaway trial is cut off without killing its worker.
+* A worker process dying (OOM, segfault, ``os._exit``) breaks the pool;
+  the engine restarts it and resubmits the unfinished trials, bounding
+  resubmissions per trial by ``max_retries`` before recording the trial
+  as ``crashed``.
+* ``jobs == 1`` — or a pool that cannot be created at all (restricted
+  sandboxes) — degrades to an in-process serial loop over the same specs.
+
+Results are returned sorted by trial index and, when a
+:class:`~repro.exec.journal.CampaignJournal` is supplied, appended to the
+journal as they finish so a killed campaign resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis.progress import CampaignMetrics
+from ..errors import ReproError
+from .journal import CampaignJournal
+from .spec import Campaign, TrialSpec
+
+
+class TrialTimeout(ReproError):
+    """Raised inside a worker when a trial exceeds its time budget."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecPolicy:
+    """How to run a campaign (not *what* to run — that's the Campaign).
+
+    ``jobs=None`` means one worker per available core.  ``timeout_s`` is
+    the per-trial budget (None = unlimited).  ``max_retries`` bounds how
+    many times a trial may be resubmitted after worker crashes.
+    """
+
+    jobs: Optional[int] = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+
+    def resolved_jobs(self) -> int:
+        if self.jobs is None:
+            return default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        return self.jobs
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: the cores this process may use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialResult:
+    """One trial's outcome as the engine records it."""
+
+    index: int
+    seed: int
+    status: str  # "ok" | "failed" | "timeout" | "crashed"
+    value: object = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """All trial records of one campaign run, in trial-index order."""
+
+    name: str
+    fingerprint: str
+    records: Tuple[TrialResult, ...]
+    metrics: CampaignMetrics
+
+    def values(self) -> List[object]:
+        """Successful results in campaign order — worker-count invariant."""
+        return [r.value for r in self.records if r.ok]
+
+    def failures(self) -> List[TrialResult]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    def raise_on_failure(self) -> "CampaignResult":
+        """Propagate the first failure like a serial loop would have."""
+        for rec in self.records:
+            if not rec.ok:
+                raise ReproError(
+                    f"campaign {self.name!r} trial {rec.index} "
+                    f"(seed {rec.seed}) {rec.status}: {rec.error}"
+                )
+        return self
+
+
+@contextlib.contextmanager
+def _trial_alarm(timeout_s: Optional[float]):
+    """Raise :class:`TrialTimeout` after ``timeout_s`` wall seconds.
+
+    Uses ``SIGALRM``; silently a no-op off the main thread or on
+    platforms without ``setitimer`` (the trial then just runs to
+    completion).
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TrialTimeout(f"trial exceeded {timeout_s:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_spec(spec: TrialSpec, timeout_s: Optional[float]) -> TrialResult:
+    """Run one trial in this process, mapping outcomes to a record."""
+    start = time.perf_counter()
+    try:
+        with _trial_alarm(timeout_s):
+            value = spec.fn(spec.config, spec.seed)
+        status, error = "ok", None
+    except TrialTimeout as exc:
+        value, status, error = None, "timeout", str(exc)
+    except Exception as exc:  # noqa: BLE001 - the record carries the error
+        value, status, error = None, "failed", f"{type(exc).__name__}: {exc}"
+    return TrialResult(
+        index=spec.index,
+        seed=spec.seed,
+        status=status,
+        value=value,
+        error=error,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _pool_worker(spec: TrialSpec, timeout_s: Optional[float]) -> TrialResult:
+    """Top-level pool entry point (must be picklable by reference)."""
+    return _execute_spec(spec, timeout_s)
+
+
+def _mp_context():
+    """Prefer fork so benchmark-module trial functions resolve in workers."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class _ParallelRun:
+    """One parallel drain of a set of specs, with crash recovery."""
+
+    def __init__(
+        self, policy: ExecPolicy, emit: Callable[[TrialResult, Optional[int]], None]
+    ):
+        self.policy = policy
+        self.emit = emit
+        self.restarts = 0
+        self.retried = 0
+
+    def run(self, specs: List[TrialSpec]) -> List[TrialSpec]:
+        """Execute specs; returns specs left over if no pool could be made."""
+        pending: Dict[int, TrialSpec] = {s.index: s for s in specs}
+        attempts: Dict[int, int] = {s.index: 0 for s in specs}
+        jobs = self.policy.resolved_jobs()
+        while pending:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)), mp_context=_mp_context()
+                )
+            except (OSError, ValueError, PermissionError):
+                return list(pending.values())
+            broken = False
+            try:
+                with pool:
+                    futures = {}
+                    try:
+                        for spec in pending.values():
+                            attempts[spec.index] += 1
+                            if attempts[spec.index] > 1:
+                                self.retried += 1
+                            futures[
+                                pool.submit(
+                                    _pool_worker, spec, self.policy.timeout_s
+                                )
+                            ] = spec
+                    except (OSError, RuntimeError, BrokenProcessPool):
+                        # Worker processes could not be spawned at all.
+                        if not futures:
+                            return list(pending.values())
+                        broken = True
+                    not_done = set(futures)
+                    while not_done and not broken:
+                        done, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            spec = futures[future]
+                            try:
+                                record = future.result()
+                            except BrokenProcessPool:
+                                broken = True
+                                continue
+                            except Exception as exc:  # noqa: BLE001
+                                record = TrialResult(
+                                    index=spec.index,
+                                    seed=spec.seed,
+                                    status="failed",
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            self.emit(record, attempts[spec.index])
+                            pending.pop(spec.index, None)
+                    if broken:
+                        # Let any still-healthy workers finish, then harvest
+                        # every result that landed before the breakage so it
+                        # is not re-executed after the restart.
+                        pool.shutdown(wait=True)
+                        for future, spec in futures.items():
+                            if spec.index not in pending or not future.done():
+                                continue
+                            try:
+                                record = future.result()
+                            except Exception:  # noqa: BLE001
+                                continue
+                            self.emit(record, attempts[spec.index])
+                            pending.pop(spec.index, None)
+            except BrokenProcessPool:
+                broken = True
+            if broken:
+                self.restarts += 1
+                for index, spec in list(pending.items()):
+                    if attempts[index] > self.policy.max_retries:
+                        self.emit(
+                            TrialResult(
+                                index=index,
+                                seed=spec.seed,
+                                status="crashed",
+                                error=(
+                                    "worker process died; retries exhausted "
+                                    f"after {attempts[index]} attempts"
+                                ),
+                                attempts=attempts[index],
+                            ),
+                            attempts[index],
+                        )
+                        pending.pop(index)
+        return []
+
+
+def run_campaign(
+    campaign: Campaign,
+    policy: Optional[ExecPolicy] = None,
+    journal: Optional[CampaignJournal] = None,
+    reporter: Optional["ProgressReporter"] = None,
+) -> CampaignResult:
+    """Execute ``campaign`` under ``policy`` and return ordered results.
+
+    With a journal, previously finished trials are served from disk
+    (``cached=True`` records) and fresh ones are appended as they
+    complete.  With a reporter, progress lines stream while running.
+    """
+    from .progress import ProgressReporter  # local: avoid import cycle
+
+    policy = policy or ExecPolicy()
+    specs = campaign.trials()
+    fingerprint = journal.fingerprint if journal else campaign.fingerprint()
+
+    records: Dict[int, TrialResult] = {}
+    if journal is not None:
+        for index, obj in journal.load_completed().items():
+            records[index] = TrialResult(
+                index=index,
+                seed=obj["seed"],
+                status="ok",
+                value=obj["value"],
+                elapsed_s=obj.get("elapsed_s", 0.0),
+                attempts=obj.get("attempts", 1),
+                cached=True,
+            )
+    cached = len(records)
+    pending = [s for s in specs if s.index not in records]
+
+    if reporter is None:
+        reporter = ProgressReporter(enabled=False)
+    reporter.start(campaign.name, total=len(specs), cached=cached)
+
+    started = time.perf_counter()
+    attempts_seen: Dict[int, int] = {}
+
+    def emit(record: TrialResult, known_attempts: Optional[int] = None) -> None:
+        if known_attempts is not None and record.attempts != known_attempts:
+            record = dataclasses.replace(record, attempts=known_attempts)
+        records[record.index] = record
+        if journal is not None:
+            journal.append(record)
+        reporter.update(record)
+
+    restarts = retried = 0
+    leftover = pending
+    if pending and policy.resolved_jobs() > 1 and len(pending) > 1:
+        run = _ParallelRun(policy, emit)
+        leftover = run.run(pending)
+        restarts, retried = run.restarts, run.retried
+
+    # Serial path: jobs == 1, a single pending trial, or pool unavailable.
+    for spec in leftover:
+        emit(_execute_spec(spec, policy.timeout_s))
+
+    elapsed = time.perf_counter() - started
+    ordered = tuple(records[i] for i in sorted(records))
+    executed = [r for r in ordered if not r.cached]
+    metrics = CampaignMetrics(
+        total=len(specs),
+        completed=len(executed),
+        cached=cached,
+        failed=sum(1 for r in ordered if not r.ok),
+        retried=retried,
+        pool_restarts=restarts,
+        elapsed_s=elapsed,
+    )
+    reporter.finish(metrics)
+    return CampaignResult(
+        name=campaign.name,
+        fingerprint=fingerprint,
+        records=ordered,
+        metrics=metrics,
+    )

@@ -1,0 +1,79 @@
+"""Live progress reporting for running campaigns.
+
+The reporter keeps running counters, renders them through
+:func:`repro.analysis.format_progress` (so every surface shows the same
+line), and rate-limits output so a thousand fast trials do not spam the
+terminal.  It is deliberately side-effect-only: the authoritative
+:class:`~repro.analysis.progress.CampaignMetrics` for a run is computed
+by the executor, not by the reporter.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from ..analysis.progress import CampaignMetrics, format_progress
+
+
+class ProgressReporter:
+    """Streams one-line progress updates for a campaign run."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interval_s: float = 0.5,
+        enabled: bool = True,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self.enabled = enabled
+        self.label = "campaign"
+        self.total = 0
+        self.cached = 0
+        self.completed = 0
+        self.failed = 0
+        self.retried = 0
+        self._t0 = 0.0
+        self._last_emit = 0.0
+
+    def start(self, label: str, total: int, cached: int = 0) -> None:
+        self.label = label
+        self.total = total
+        self.cached = cached
+        self.completed = self.failed = self.retried = 0
+        self._t0 = time.monotonic()
+        self._last_emit = 0.0
+        if self.enabled and cached:
+            self._write(f"{label}: {cached}/{total} trials cached from journal")
+
+    def update(self, record) -> None:
+        """Account one freshly finished trial record."""
+        self.completed += 1
+        if not record.ok:
+            self.failed += 1
+        if record.attempts > 1:
+            self.retried += record.attempts - 1
+        now = time.monotonic()
+        if not self.enabled or now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        self._write(format_progress(self.snapshot(), label=self.label))
+
+    def snapshot(self) -> CampaignMetrics:
+        return CampaignMetrics(
+            total=self.total,
+            completed=self.completed,
+            cached=self.cached,
+            failed=self.failed,
+            retried=self.retried,
+            elapsed_s=time.monotonic() - self._t0,
+        )
+
+    def finish(self, metrics: CampaignMetrics) -> None:
+        if self.enabled:
+            self._write(format_progress(metrics, label=self.label) + " | done")
+
+    def _write(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)

@@ -30,6 +30,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evset", "--machine", "epyc"])
 
+    def test_evset_jobs_flag(self):
+        args = build_parser().parse_args(["evset", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.name == "construction"
+        assert args.campaign_env == "cloud"
+        assert args.jobs == 1
+        assert not args.no_journal
+
+    def test_campaign_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--name", "magic"])
+
+    def test_campaign_rejects_unknown_env(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--campaign-env", "mars"])
+
 
 class TestCommands:
     def test_machines_lists(self, capsys):
@@ -52,6 +71,7 @@ class TestCommands:
         assert rc == 0
         assert "valid: 1/1" in out
 
+    @pytest.mark.slow
     def test_monitor_runs(self, capsys):
         rc = main([
             "monitor", "--env", "none", "--duration-us", "50", "--seed", "2",
@@ -59,3 +79,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "monitored one SF set" in out
+
+    def test_evset_parallel_matches_serial(self, capsys):
+        argv = [
+            "evset", "--env", "none", "--trials", "2", "--seed", "11",
+            "--budget-ms", "500",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "valid: 2/2" in serial_out
+
+    def test_campaign_runs_and_resumes_from_journal(self, capsys, tmp_path):
+        argv = [
+            "campaign", "--name", "construction", "--campaign-env", "local",
+            "--algo", "gtop", "--trials", "2", "--budget-ms", "500",
+            "--journal-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "campaign: construction-local-gtop" in first
+        assert "fingerprint:" in first
+        assert "2/2 trials" in first
+
+        # Rerun: every trial must come from the journal, summary unchanged.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cached" in second
+        assert (
+            second.split("Construction campaign summary")[1]
+            == first.split("Construction campaign summary")[1]
+        )

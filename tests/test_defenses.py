@@ -101,6 +101,7 @@ class TestApplyPartitioning:
         assert machine.hierarchy.in_llc(line)
 
 
+@pytest.mark.slow
 class TestDefenseStopsAttack:
     def test_victim_cannot_evict_attacker_lines(self):
         """The core guarantee: Prime+Probe goes blind under partitioning."""

@@ -78,6 +78,7 @@ class TestFiltering:
         assert len(l2_sets) == 1
 
 
+@pytest.mark.slow
 class TestBulkPageOffset:
     @pytest.fixture(scope="class")
     def bulk(self):
@@ -122,6 +123,7 @@ class TestBulkPageOffset:
         assert result.n_targets_attempted >= len(result.evsets)
 
 
+@pytest.mark.slow
 class TestBulkWholeSys:
     def test_two_offsets_reuse_filtering(self):
         machine = Machine(skylake_sp_small(), noise=no_noise(), seed=43)

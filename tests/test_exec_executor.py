@@ -1,0 +1,191 @@
+"""Tests for repro.exec.executor: parity, timeouts, retries, fallback."""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import (
+    Campaign,
+    ExecPolicy,
+    TrialTimeout,
+    default_jobs,
+    run_campaign,
+)
+from repro.exec import executor as executor_mod
+
+
+# Trial functions must live at module level so forked/pickled workers can
+# resolve them by reference.
+
+def rng_trial(cfg, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(cfg["bound"]) for _ in range(cfg["n"])]
+
+
+def failing_trial(cfg, seed):
+    if seed % 2:
+        raise ValueError(f"odd seed {seed}")
+    return seed * 10
+
+
+def sleepy_trial(cfg, seed):
+    if seed == cfg["slow_seed"]:
+        time.sleep(cfg["sleep_s"])
+    return seed
+
+
+def crashing_trial(cfg, seed):
+    if seed == cfg["crash_seed"]:
+        os._exit(3)
+    return seed + 1
+
+
+def _campaign(fn, cfg, trials, **kwargs):
+    return Campaign.build("exec-test", fn, cfg, trials=trials, **kwargs)
+
+
+class TestParity:
+    def test_parallel_matches_serial_on_fixed_seed(self):
+        campaign = _campaign(rng_trial, {"bound": 1000, "n": 32}, trials=9)
+        serial = run_campaign(campaign, ExecPolicy(jobs=1))
+        parallel = run_campaign(campaign, ExecPolicy(jobs=3))
+        assert serial.ok and parallel.ok
+        assert serial.values() == parallel.values()
+        assert [r.seed for r in serial.records] == [
+            r.seed for r in parallel.records
+        ]
+
+    def test_records_sorted_by_index(self):
+        campaign = _campaign(rng_trial, {"bound": 10, "n": 2}, trials=7)
+        result = run_campaign(campaign, ExecPolicy(jobs=4))
+        assert [r.index for r in result.records] == list(range(7))
+
+    def test_metrics_reflect_completion(self):
+        campaign = _campaign(rng_trial, {"bound": 10, "n": 2}, trials=5)
+        result = run_campaign(campaign, ExecPolicy(jobs=2))
+        assert result.metrics.total == 5
+        assert result.metrics.completed == 5
+        assert result.metrics.failed == 0
+        assert result.metrics.elapsed_s >= 0.0
+
+
+class TestFailures:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_exceptions_become_failed_records(self, jobs):
+        campaign = _campaign(
+            failing_trial, {}, trials=6, seed_mode="arithmetic", base_seed=0
+        )
+        result = run_campaign(campaign, ExecPolicy(jobs=jobs))
+        assert not result.ok
+        statuses = {r.seed: r.status for r in result.records}
+        assert all(
+            s == ("failed" if seed % 2 else "ok")
+            for seed, s in statuses.items()
+        )
+        failed = result.failures()
+        assert len(failed) == 3
+        assert all("odd seed" in r.error for r in failed)
+        # Successful trials are still returned, in order.
+        assert result.values() == [0, 20, 40]
+
+    def test_raise_on_failure(self):
+        campaign = _campaign(
+            failing_trial, {}, trials=2, seed_mode="arithmetic", base_seed=1
+        )
+        result = run_campaign(campaign, ExecPolicy(jobs=1))
+        with pytest.raises(ReproError, match="odd seed"):
+            result.raise_on_failure()
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_slow_trial_times_out(self, jobs):
+        campaign = _campaign(
+            sleepy_trial,
+            {"slow_seed": 2, "sleep_s": 5.0},
+            trials=3,
+            seed_mode="arithmetic",
+            base_seed=1,
+        )
+        start = time.monotonic()
+        result = run_campaign(campaign, ExecPolicy(jobs=jobs, timeout_s=0.3))
+        assert time.monotonic() - start < 4.0
+        statuses = {r.seed: r.status for r in result.records}
+        assert statuses == {1: "ok", 2: "timeout", 3: "ok"}
+        assert result.values() == [1, 3]
+
+    def test_trial_timeout_is_repro_error(self):
+        assert issubclass(TrialTimeout, ReproError)
+
+
+class TestCrashRecovery:
+    def test_retry_exhaustion_marks_trial_crashed(self):
+        campaign = _campaign(
+            crashing_trial,
+            {"crash_seed": 12},
+            trials=4,
+            seed_mode="arithmetic",
+            base_seed=10,
+        )
+        result = run_campaign(campaign, ExecPolicy(jobs=2, max_retries=1))
+        by_seed = {r.seed: r for r in result.records}
+        crashed = by_seed[12]
+        assert crashed.status == "crashed"
+        assert crashed.attempts == 2  # initial attempt + one retry
+        assert "retries exhausted" in crashed.error
+        # The surviving trials still complete correctly.
+        assert result.values() == [11, 12, 14]
+        assert result.metrics.pool_restarts >= 1
+        assert result.metrics.retried >= 1
+
+    def test_zero_retries_gives_up_after_first_crash(self):
+        campaign = _campaign(
+            crashing_trial,
+            {"crash_seed": 20},
+            trials=2,
+            seed_mode="arithmetic",
+            base_seed=20,
+        )
+        result = run_campaign(campaign, ExecPolicy(jobs=2, max_retries=0))
+        crashed = [r for r in result.records if r.status == "crashed"]
+        assert len(crashed) == 1
+        assert crashed[0].attempts == 1
+
+
+class TestSerialFallback:
+    def test_pool_creation_failure_falls_back_to_serial(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool available")
+
+        monkeypatch.setattr(
+            executor_mod, "ProcessPoolExecutor", broken_pool
+        )
+        campaign = _campaign(rng_trial, {"bound": 100, "n": 8}, trials=4)
+        result = run_campaign(campaign, ExecPolicy(jobs=4))
+        assert result.ok
+        serial = run_campaign(campaign, ExecPolicy(jobs=1))
+        assert result.values() == serial.values()
+
+    def test_single_trial_runs_serially(self):
+        campaign = _campaign(rng_trial, {"bound": 100, "n": 8}, trials=1)
+        result = run_campaign(campaign, ExecPolicy(jobs=8))
+        assert result.ok and len(result.values()) == 1
+
+
+class TestPolicy:
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_jobs_none_resolves_to_default(self):
+        assert ExecPolicy(jobs=None).resolved_jobs() == default_jobs()
+
+    def test_non_positive_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExecPolicy(jobs=0).resolved_jobs()
+        with pytest.raises(ValueError):
+            ExecPolicy(jobs=-1).resolved_jobs()

@@ -1,0 +1,89 @@
+"""Acceptance tests: the parallel engine vs the serial benchmark path.
+
+The construction campaigns here run the exact trial function behind
+``bench_table3`` / ``bench_table4`` (``benchmarks/_common.run_single_set_trials``),
+so these tests pin the engine's contract where it matters: fanning the
+same seeds over worker processes must yield byte-identical
+``ConstructionSample`` values, and on a multi-core machine it must
+actually be faster.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import _common  # noqa: E402  (benchmarks/_common.py)
+from repro.core.evset import EvsetConfig  # noqa: E402
+from repro.exec import ConstructionSample  # noqa: E402
+
+CFG = EvsetConfig(budget_ms=1000.0)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class TestSeedForSeedParity:
+    def test_parallel_matches_serial_construction_samples(self):
+        """--jobs N produces seed-for-seed identical ConstructionSamples."""
+        serial = _common.run_single_set_trials(
+            "local", "gtop", trials=3, evset_cfg=CFG, base_seed=3100, jobs=1
+        )
+        parallel = _common.run_single_set_trials(
+            "local", "gtop", trials=3, evset_cfg=CFG, base_seed=3100, jobs=2
+        )
+        assert all(isinstance(s, ConstructionSample) for s in serial)
+        assert parallel == serial
+
+    def test_filtered_table4_path_parity(self):
+        serial = _common.run_single_set_trials(
+            "local", "gt", trials=2, evset_cfg=CFG, base_seed=4100,
+            jobs=1, filtered=True,
+        )
+        parallel = _common.run_single_set_trials(
+            "local", "gt", trials=2, evset_cfg=CFG, base_seed=4100,
+            jobs=2, filtered=True,
+        )
+        assert parallel == serial
+
+
+class TestSpeedup:
+    @pytest.mark.slow
+    @pytest.mark.skipif(
+        _cpus() < 4, reason="speedup acceptance needs an N>=4-core runner"
+    )
+    def test_four_jobs_at_least_twice_as_fast(self):
+        """Acceptance: --jobs 4 on a >=4-core runner is >=2x faster than
+        serial on the bench_table3 workload, with identical samples."""
+        trials = 8
+        t0 = time.perf_counter()
+        serial = _common.run_single_set_trials(
+            "local", "bins", trials=trials, evset_cfg=CFG,
+            base_seed=3200, jobs=1,
+        )
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = _common.run_single_set_trials(
+            "local", "bins", trials=trials, evset_cfg=CFG,
+            base_seed=3200, jobs=4,
+        )
+        parallel_s = time.perf_counter() - t0
+
+        assert parallel == serial
+        assert serial_s / parallel_s >= 2.0, (
+            f"expected >=2x speedup, got {serial_s / parallel_s:.2f}x "
+            f"(serial {serial_s:.1f}s, parallel {parallel_s:.1f}s)"
+        )

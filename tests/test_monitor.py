@@ -74,6 +74,7 @@ def schedule_sender(machine, ctx, evset, interval, count, start=None):
 
 
 class TestStrategies:
+    @pytest.mark.slow
     def test_factory(self, quiet_setup):
         machine, ctx, evsets = quiet_setup
         assert isinstance(make_monitor("parallel", ctx, evsets[0]), ParallelProbing)
@@ -83,16 +84,19 @@ class TestStrategies:
             PrimeScopeAlt,
         )
 
+    @pytest.mark.slow
     def test_ps_alt_requires_second_set(self, quiet_setup):
         _, ctx, evsets = quiet_setup
         with pytest.raises(ConfigurationError):
             make_monitor("ps-alt", ctx, evsets[0])
 
+    @pytest.mark.slow
     def test_unknown_strategy(self, quiet_setup):
         _, ctx, evsets = quiet_setup
         with pytest.raises(ConfigurationError):
             make_monitor("quantum", ctx, evsets[0])
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("name", ["parallel", "ps-flush", "ps-alt"])
     def test_quiet_set_no_detections(self, name):
         machine, ctx, evsets = build_setup(seed=52)
@@ -100,6 +104,7 @@ class TestStrategies:
         trace = monitor_set(monitor, duration_cycles=200_000)
         assert trace.access_count() == 0
 
+    @pytest.mark.slow
     @pytest.mark.parametrize(
         "name,min_detections",
         [("parallel", 12), ("ps-flush", 10), ("ps-alt", 0)],
@@ -117,6 +122,7 @@ class TestStrategies:
         trace = monitor_set(monitor, duration_cycles=25 * interval)
         assert trace.access_count() >= min_detections
 
+    @pytest.mark.slow
     def test_detection_timeliness_parallel(self):
         """Detections land within ~one probe loop plus a DRAM round trip.
 
@@ -137,6 +143,7 @@ class TestStrategies:
 
 
 class TestLatencies:
+    @pytest.mark.slow
     def test_parallel_prime_cheaper_than_ps_flush(self):
         machine, ctx, evsets = build_setup(seed=55)
         par = ParallelProbing(ctx, evsets[0])
@@ -148,6 +155,7 @@ class TestLatencies:
         s_flush = flush.latency_summary()
         assert s_par.prime_mean < s_flush.prime_mean / 2
 
+    @pytest.mark.slow
     def test_probe_latency_ordering(self):
         """Parallel probe only slightly above the single-line EVC probe."""
         machine, ctx, evsets = build_setup(seed=56)
@@ -169,12 +177,14 @@ class TestLatencies:
 
 
 class TestMonitorLoop:
+    @pytest.mark.slow
     def test_trace_window_covers_duration(self, quiet_setup):
         machine, ctx, evsets = quiet_setup
         monitor = ParallelProbing(ctx, evsets[0])
         trace = monitor_set(monitor, duration_cycles=100_000)
         assert trace.end - trace.start >= 100_000
 
+    @pytest.mark.slow
     def test_max_events_cap(self):
         machine, ctx, evsets = build_setup(seed=57)
         schedule_sender(machine, ctx, evsets[0], 5_000, count=100)
@@ -182,6 +192,7 @@ class TestMonitorLoop:
         trace = monitor_set(monitor, duration_cycles=10**6, max_events=5)
         assert trace.access_count() == 5
 
+    @pytest.mark.slow
     def test_noise_produces_detections(self):
         """Figure 2's measurement loop: background noise IS detectable."""
         machine, ctx, evsets = build_setup(noise=cloud_run_noise(), seed=58)

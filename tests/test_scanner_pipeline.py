@@ -49,6 +49,7 @@ def attack_env():
     return machine, victim, ctx, bulk.evsets, target_set, classifier, scfg
 
 
+@pytest.mark.slow
 class TestClassifier:
     def test_untrained_raises(self, attack_env):
         machine, *_ = attack_env
@@ -66,6 +67,7 @@ class TestClassifier:
         assert report.false_positive_rate < 0.15
 
 
+@pytest.mark.slow
 class TestScanner:
     def test_finds_target_set(self, attack_env):
         machine, victim, ctx, evsets, target_set, classifier, scfg = attack_env
@@ -128,6 +130,7 @@ def fresh_attack_env():
     return machine, victim, ctx, bulk.evsets, target_set, classifier, scfg
 
 
+@pytest.mark.slow
 class TestEndToEnd:
     def test_full_attack_recovers_nonce_bits(self, fresh_attack_env):
         """The Section 7.3 headline: most nonce bits, few errors."""
