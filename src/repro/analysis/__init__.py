@@ -4,6 +4,7 @@ Every benchmark uses these helpers to print its paper-vs-measured rows in
 a uniform format (see EXPERIMENTS.md for the collected output).
 """
 
+from .dataplane import dataplane_summary
 from .progress import CampaignMetrics, format_progress
 from .stats import Summary, cdf_points, summarize
 from .reporting import Table, format_seconds, paper_vs_measured
@@ -13,6 +14,7 @@ __all__ = [
     "Summary",
     "Table",
     "cdf_points",
+    "dataplane_summary",
     "format_progress",
     "format_seconds",
     "paper_vs_measured",

@@ -1,0 +1,52 @@
+"""Data-plane observability: counters from the flat memory system.
+
+The array-backed caches and the batched access APIs keep cheap counters as
+they run — per-structure touched-set counts, policy-table operation counts,
+and batch-size statistics from the Machine's batched entry points.  This
+module collects them into one flat dict so benchmarks (and the perf
+microbenchmark's ``BENCH_perf.json``) can report how the data plane was
+exercised alongside their timing numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def dataplane_summary(machine) -> Dict[str, float]:
+    """Flat counter snapshot of a machine's data plane.
+
+    Keys:
+
+    * ``batch_calls`` / ``batch_lines`` — how many batched traversals ran
+      and how many line accesses they carried.
+    * ``mean_batch_size`` — lines per batched call (0.0 before any batch).
+    * ``<structure>_touched_sets`` — sets ever inserted into or
+      noise-reconciled, per shared structure (private caches are summed
+      across cores).
+    * ``<structure>_policy_touches`` / ``_fills`` / ``_victims`` —
+      policy-table operations (hits, installs, evictions) per structure.
+    """
+    hier = machine.hierarchy
+    out: Dict[str, float] = {
+        "batch_calls": machine.batch_calls,
+        "batch_lines": machine.batch_lines,
+        "mean_batch_size": (
+            machine.batch_lines / machine.batch_calls if machine.batch_calls else 0.0
+        ),
+    }
+    structures = {
+        "l1": hier.l1,
+        "l2": hier.l2,
+        "sf": [hier.sf],
+        "llc": [hier.llc],
+    }
+    for label, caches in structures.items():
+        out[f"{label}_touched_sets"] = sum(c.touched_sets for c in caches)
+        for counter in ("policy_touches", "policy_fills", "policy_victims"):
+            # Partitioned (defense) caches expose touched_sets but not the
+            # per-table counters; report 0 rather than fail.
+            out[f"{label}_{counter}"] = sum(
+                getattr(c, counter, 0) for c in caches
+            )
+    return out

@@ -61,32 +61,61 @@ class BackgroundNoise:
         Insertion counts are capped at three times the set's associativity:
         beyond that the set is fully foreign and older events cannot change
         the outcome, so simulating them would be pure waste.
+
+        The SF block runs before the LLC block and each block draws from the
+        shared RNG in a fixed order; :meth:`reconcile_many` loops sets in
+        caller order through this same routine, so batched and per-access
+        reconciliation consume the RNG identically (bit-identical trials).
+
+        This runs on *every* access, so the common case — a few elapsed
+        cycles, no event — is inlined: one ``exchange_noise_clock`` call and
+        one uniform draw per structure (the ``_draw`` small-mean fast path,
+        kept in sync with that method).
         """
         rng = self._rng
         if self._sf_rate > 0.0:
-            cset = hier.sf.get_set(sidx)
-            dt = now - cset.noise_t
+            sf = hier.sf
+            dt = now - sf.exchange_noise_clock(sidx, now)
             if dt > 0:
-                cset.noise_t = now
-                n = self._draw(rng, self._sf_rate * dt)
-                cap = 3 * hier.sf.ways
-                if n > cap:
-                    n = cap
-                for _ in range(n):
-                    hier.noise_insert_sf(sidx)
-                self.events += n
+                lam = self._sf_rate * dt
+                if lam < 0.01:
+                    n = 1 if rng.random() < lam else 0
+                else:
+                    n = poisson(rng, lam)
+                if n:
+                    cap = 3 * sf.ways
+                    if n > cap:
+                        n = cap
+                    for _ in range(n):
+                        hier.noise_insert_sf(sidx)
+                    self.events += n
         if self._llc_rate > 0.0:
-            cset = hier.llc.get_set(sidx)
-            dt = now - cset.noise_t
+            llc = hier.llc
+            dt = now - llc.exchange_noise_clock(sidx, now)
             if dt > 0:
-                cset.noise_t = now
-                n = self._draw(rng, self._llc_rate * dt)
-                cap = 3 * hier.llc.ways
-                if n > cap:
-                    n = cap
-                for _ in range(n):
-                    hier.noise_insert_llc(sidx)
-                self.events += n
+                lam = self._llc_rate * dt
+                if lam < 0.01:
+                    n = 1 if rng.random() < lam else 0
+                else:
+                    n = poisson(rng, lam)
+                if n:
+                    cap = 3 * llc.ways
+                    if n > cap:
+                        n = cap
+                    for _ in range(n):
+                        hier.noise_insert_llc(sidx)
+                    self.events += n
+
+    def reconcile_many(self, hier, sidxs, now: int) -> None:
+        """Reconcile several shared sets up to ``now``, in caller order.
+
+        Duplicate indices are harmless: the second visit sees ``dt == 0``
+        and draws nothing, exactly as repeated per-access reconciliation
+        at a fixed ``now`` would.
+        """
+        reconcile = self.reconcile
+        for sidx in sidxs:
+            reconcile(hier, sidx, now)
 
     def expected_events(self, cycles: int) -> float:
         """Expected number of noise events per set over ``cycles``."""

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence
 from .._util import make_rng, median, spawn_rng
 from ..config import LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from ..errors import ConfigurationError
-from ..memsys.hierarchy import Level
 from ..memsys.machine import Machine
 
 
@@ -136,47 +135,41 @@ class AttackerContext:
         set) so background noise is reconciled once per batch.
         Returns elapsed cycles.
         """
-        lines = [self.line(va) for va in (vas if n is None else vas[:n])]
+        lines = self.lines(vas if n is None else vas[:n])
         if not shared:
-            return self.machine.access_parallel(
+            return self.machine.access_batch(
                 self.main_core, lines, write=write, same_shared_set=same_set
             )
-        machine = self.machine
-        hier = machine.hierarchy
-        lat = machine.cfg.latency
-        machine._drain_events()
-        now = machine.now
-        worst = 0
-        gaps = 0
-        for line in lines:
-            level = hier.access(self.main_core, line, now)
-            hier.access(self.helper_core, line, now)
-            lt = machine._level_latency[level]
-            if lt > worst:
-                worst = lt
-            gaps += lat.hit_issue_gap if level <= Level.L2 else lat.issue_gap
-        elapsed = worst + gaps
-        elapsed += machine._preemption_penalty(elapsed)
-        machine.advance(elapsed)
-        return elapsed
+        return self.machine.access_batch(
+            self.main_core, lines, shadow_core=self.helper_core
+        )
 
     def traverse_chase(
         self, vas: Sequence[int], n: Optional[int] = None, shared: bool = False,
         write: bool = False,
     ) -> int:
         """Serialized pointer-chase traversal of the first ``n`` addresses."""
-        chosen = vas if n is None else vas[:n]
-        if not shared:
-            return self.machine.access_chase(
-                self.main_core, [self.line(v) for v in chosen], write=write
-            )
-        total = 0
-        for va in chosen:
-            line = self.line(va)
-            _, latency = self.machine.access(self.main_core, line)
-            self.machine.access(self.helper_core, line, advance=False)
-            total += latency + self.machine.cfg.latency.chase_overhead
-        return total
+        lines = self.lines(vas if n is None else vas[:n])
+        return self.machine.access_chase(
+            self.main_core,
+            lines,
+            write=write,
+            shadow_core=self.helper_core if shared else None,
+        )
+
+    def probe_parallel(
+        self, vas: Sequence[int], n: Optional[int] = None, write: bool = False,
+        same_set: bool = False,
+    ) -> int:
+        """Timed overlapped traversal, as a Prime+Probe probe measures it.
+
+        Same cost model as :meth:`traverse_parallel` plus the fixed timer
+        overhead (see :meth:`Machine.probe_batch`).
+        """
+        lines = self.lines(vas if n is None else vas[:n])
+        return self.machine.probe_batch(
+            self.main_core, lines, write=write, same_shared_set=same_set
+        )
 
     # -- Threshold calibration --------------------------------------------------------
 

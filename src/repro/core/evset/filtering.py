@@ -69,7 +69,8 @@ def filter_candidates(
     set, so it *may* share its LLC/SF set; survival proves it cannot.
     """
     tester = EvictionTester(ctx, mode="l2", parallel=True)
-    return [va for va in candidate_vas if tester.test(va, l2_evset.vas)]
+    verdicts = tester.test_many(candidate_vas, l2_evset.vas)
+    return [va for va, evicted in zip(candidate_vas, verdicts) if evicted]
 
 
 def shift_candidates(filtered_vas: List[int], delta: int, page_bytes: int = 4096) -> List[int]:

@@ -89,16 +89,27 @@ class EvictionTester:
         silently stop testing anything.  Flushing first makes every
         candidate contribute exactly one insertion.
         """
-        shared = self.mode == "llc"
-        write = self.mode == "sf"
         count = len(vas) if n is None else min(n, len(vas))
-        self.ctx.flush_batch(vas, n=count)
+        lines = self.ctx.lines(vas if count == len(vas) else vas[:count])
+        self._traverse_lines(lines)
+
+    def _traverse_lines(self, lines: Sequence[int]) -> None:
+        """Flush then access pre-translated candidate lines (see traverse)."""
+        ctx = self.ctx
+        machine = ctx.machine
+        write = self.mode == "sf"
+        machine.flush_batch(lines)
+        shadow = ctx.helper_core if self.mode == "llc" else None
         for _ in range(self.repeats):
             if self.parallel:
-                self.ctx.traverse_parallel(vas, n=count, shared=shared, write=write)
+                machine.access_batch(
+                    ctx.main_core, lines, write=write, shadow_core=shadow
+                )
             else:
-                self.ctx.traverse_chase(vas, n=count, shared=shared, write=write)
-        self.traversed_addresses += count * self.repeats
+                machine.access_chase(
+                    ctx.main_core, lines, write=write, shadow_core=shadow
+                )
+        self.traversed_addresses += len(lines) * self.repeats
 
     @property
     def threshold(self) -> int:
@@ -118,6 +129,26 @@ class EvictionTester:
         self.prime_target(target_va)
         self.traverse(vas, n)
         return self.check_evicted(target_va)
+
+    def test_many(
+        self, target_vas: Sequence[int], vas: Sequence[int], n: Optional[int] = None
+    ) -> List[bool]:
+        """TestEviction of each target against one fixed candidate list.
+
+        The batched form of calling :meth:`test` in a loop: the candidate
+        traversal is translated once and reused for every target (the big
+        win in candidate filtering, where the same L2 eviction set is
+        tested against hundreds of candidates).
+        """
+        count = len(vas) if n is None else min(n, len(vas))
+        lines = self.ctx.lines(vas if count == len(vas) else vas[:count])
+        verdicts: List[bool] = []
+        for target_va in target_vas:
+            self.n_tests += 1
+            self.prime_target(target_va)
+            self._traverse_lines(lines)
+            verdicts.append(self.check_evicted(target_va))
+        return verdicts
 
     def is_eviction_set(self, target_va: int, vas: Sequence[int], votes: int = 1) -> bool:
         """Verify a (small) set evicts the target; majority over ``votes``."""

@@ -46,6 +46,10 @@ class MonitorStrategy:
             raise ConfigurationError("empty eviction set")
         self.ctx = ctx
         self.evset = evset
+        # Translate once; the prime/probe loops then cross into the memory
+        # system through the batched Machine APIs with no per-iteration
+        # VA->line work.
+        self._lines = ctx.lines(evset.vas)
         self.prime_latencies: List[int] = []
         self.probe_latencies: List[int] = []
 
@@ -140,13 +144,18 @@ class ParallelProbing(MonitorStrategy):
         attacker-local work; the scrub is excluded from detection.
         """
         ctx = self.ctx
-        ctx.flush_batch(self.evset.vas)
-        ctx.traverse_parallel(self.evset.vas, shared=True)
+        machine = ctx.machine
+        machine.flush_batch(self._lines)
+        machine.access_batch(ctx.main_core, self._lines, shadow_core=ctx.helper_core)
 
     def prime(self) -> int:
+        ctx = self.ctx
+        machine = ctx.machine
         elapsed = 0
         for _ in range(self.prime_rounds):
-            elapsed += self.ctx.traverse_parallel(self.evset.vas, write=True, same_set=True)
+            elapsed += machine.access_batch(
+                ctx.main_core, self._lines, write=True, same_shared_set=True
+            )
         self._record_prime(elapsed)
         return elapsed
 
@@ -154,15 +163,19 @@ class ParallelProbing(MonitorStrategy):
         # Periodic maintenance runs in the probe path (a long quiet stretch
         # is exactly when a stale LLC copy may be starving detections).
         # Its cost is not recorded in the prime/probe latency statistics.
+        ctx = self.ctx
+        machine = ctx.machine
         self._probes_since_scrub += 1
         if self.llc_scrub_period and self._probes_since_scrub >= self.llc_scrub_period:
             self._probes_since_scrub = 0
             self._llc_scrub()
             for _ in range(self.prime_rounds):
-                self.ctx.traverse_parallel(self.evset.vas, write=True, same_set=True)
-        lat = self.ctx.machine.cfg.latency
-        elapsed = self.ctx.traverse_parallel(self.evset.vas, same_set=True)
-        measured = elapsed + lat.timer_overhead
+                machine.access_batch(
+                    ctx.main_core, self._lines, write=True, same_shared_set=True
+                )
+        measured = machine.probe_batch(
+            ctx.main_core, self._lines, same_shared_set=True
+        )
         self._record_probe(measured)
         return measured > self._detect_threshold
 
@@ -184,20 +197,21 @@ class PrimeScopeFlush(MonitorStrategy):
 
     def prime(self) -> int:
         ctx = self.ctx
-        vas = self.evset.vas
-        start = ctx.machine.now
+        machine = ctx.machine
+        lines = self._lines
+        start = machine.now
         for _ in range(self.MAX_PRIME_TRIES):
             # Load everything, flush everything, then reload sequentially so
             # the replacement order is exactly the reload order (EVC = vas[0]).
-            ctx.traverse_parallel(vas)
-            ctx.flush_batch(vas)
-            ctx.traverse_chase(vas)
+            machine.access_batch(ctx.main_core, lines)
+            machine.flush_batch(lines)
+            machine.access_chase(ctx.main_core, lines)
             # Stability check doubling as the L1 warm touch: if the scope
             # line did not survive the pattern (a concurrent insertion
             # displaced it), the state is dirty — re-prime.
-            if ctx.timed_load(vas[0]) <= ctx.threshold_private:
+            if ctx.timed_load(self.evset.vas[0]) <= ctx.threshold_private:
                 break
-        elapsed = ctx.machine.now - start
+        elapsed = machine.now - start
         self._record_prime(elapsed)
         return elapsed
 

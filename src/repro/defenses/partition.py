@@ -109,7 +109,9 @@ class WayPartitionedCache:
                 best = candidate
         return best
 
-    def insert(self, set_idx: int, tag: int, owner: int = 0):
+    def insert(
+        self, set_idx: int, tag: int, owner: int = 0, update_owner: bool = True
+    ):
         """Insert into the owner's partition; eviction stays inside it.
 
         If another domain already holds the tag (e.g. a line transitioning
@@ -119,24 +121,31 @@ class WayPartitionedCache:
         holder = self._holding_part(set_idx, tag)
         if holder is not None and holder is not target:
             holder.remove(set_idx, tag)
-        return target.insert(set_idx, tag, owner)
+        return target.insert(set_idx, tag, owner, update_owner=update_owner)
 
     def remove(self, set_idx: int, tag: int) -> bool:
         part = self._holding_part(set_idx, tag)
         return part.remove(set_idx, tag) if part is not None else False
 
-    def flush_all(self) -> None:
+    def flush_all(self, now: int = 0) -> None:
         for part in self._parts.values():
-            part.flush_all()
+            part.flush_all(now)
 
     @property
     def touched_sets(self) -> int:
         return max(p.touched_sets for p in self._parts.values())
 
-    def get_set(self, set_idx: int):
-        """Noise bookkeeping attaches to the background-tenant partition
-        (background insertions only ever land there)."""
-        return self._parts[OTHER_DOMAIN].get_set(set_idx)
+    # Noise bookkeeping attaches to the background-tenant partition
+    # (background insertions only ever land there).
+
+    def noise_clock(self, set_idx: int) -> int:
+        return self._parts[OTHER_DOMAIN].noise_clock(set_idx)
+
+    def set_noise_clock(self, set_idx: int, now: int) -> None:
+        self._parts[OTHER_DOMAIN].set_noise_clock(set_idx, now)
+
+    def exchange_noise_clock(self, set_idx: int, now: int) -> int:
+        return self._parts[OTHER_DOMAIN].exchange_noise_clock(set_idx, now)
 
 
 def apply_way_partitioning(

@@ -71,6 +71,9 @@ class Machine:
         }
         preempt_hz = self.noise_cfg.preemption_rate_hz
         self._preempt_per_cycle = preempt_hz / self.clock_hz if preempt_hz else 0.0
+        #: Data-plane batch counters (see ``repro.analysis.dataplane_summary``).
+        self.batch_calls: int = 0
+        self.batch_lines: int = 0
 
     # -- Basic properties ----------------------------------------------------
 
@@ -152,7 +155,9 @@ class Machine:
         clock — used for work that overlaps the main thread, like the helper
         thread's shadowing accesses.
         """
-        self._drain_events()
+        events = self._events
+        if events and events[0][0] <= self.now:
+            self._drain_events()
         level = self.hierarchy.access(core, line, self.now, write=write)
         latency = self._level_latency[level]
         if advance:
@@ -166,7 +171,9 @@ class Machine:
         any preemption that lands inside the measurement.
         """
         lat = self.cfg.latency
-        self._drain_events()
+        events = self._events
+        if events and events[0][0] <= self.now:
+            self._drain_events()
         level = self.hierarchy.access(core, line, self.now)
         measured = (
             self._level_latency[level]
@@ -177,6 +184,81 @@ class Machine:
         self.advance(measured)
         return measured
 
+    def access_batch(
+        self,
+        core: int,
+        lines: Sequence[int],
+        write: bool = False,
+        advance: bool = True,
+        same_shared_set: bool = False,
+        shadow_core: Optional[int] = None,
+    ) -> int:
+        """Overlapped (MLP) traversal of ``lines``; returns elapsed cycles.
+
+        The one batched entry point every traversal routes through: the
+        Python-call boundary into the memory system is crossed once per
+        batch, not once per line.
+
+        Cost model: the slowest access's full latency plus a per-line issue
+        gap (small for private-cache hits, larger for uncore misses).  State
+        updates are applied in order; events due at the start are drained
+        first and the whole burst is atomic, which is accurate at the
+        microsecond scale of one traversal.
+
+        ``shadow_core`` interleaves a concurrent shadow access per line by
+        that core (the helper thread making lines shared); only the main
+        core's progress is costed.  ``same_shared_set=True`` asserts all
+        lines are congruent (an eviction set) so background noise is
+        reconciled once per batch — the hot path of every monitoring loop.
+        The shadowed variant always reconciles per access, matching the
+        per-line semantics it replaced.
+        """
+        if not lines:
+            return 0
+        events = self._events
+        if events and events[0][0] <= self.now:
+            self._drain_events()
+        self.batch_calls += 1
+        self.batch_lines += len(lines)
+        lat = self.cfg.latency
+        hier = self.hierarchy
+        haccess = hier.access
+        now = self.now
+        worst = 0
+        gaps = 0
+        level_lat = self._level_latency
+        hit_gap = lat.hit_issue_gap
+        miss_gap = lat.issue_gap
+        l2 = Level.L2
+        if shadow_core is None:
+            reconcile_each = True
+            if same_shared_set:
+                reconcile_each = False
+                if hier.noise_source is not None:
+                    hier.noise_source.reconcile(
+                        hier, hier.shared_set_index(lines[0]), now
+                    )
+            for level in hier.access_many(
+                core, lines, now, write=write, reconcile_each=reconcile_each
+            ):
+                lt = level_lat[level]
+                if lt > worst:
+                    worst = lt
+                gaps += hit_gap if level <= l2 else miss_gap
+        else:
+            for line in lines:
+                level = haccess(core, line, now)
+                haccess(shadow_core, line, now)
+                lt = level_lat[level]
+                if lt > worst:
+                    worst = lt
+                gaps += hit_gap if level <= l2 else miss_gap
+        elapsed = worst + gaps
+        elapsed += self._preemption_penalty(elapsed)
+        if advance:
+            self.advance(elapsed)
+        return elapsed
+
     def access_parallel(
         self,
         core: int,
@@ -185,62 +267,70 @@ class Machine:
         advance: bool = True,
         same_shared_set: bool = False,
     ) -> int:
-        """Overlapped (MLP) traversal of ``lines``; returns elapsed cycles.
+        """Compatibility alias for :meth:`access_batch` (no shadow core)."""
+        return self.access_batch(
+            core,
+            lines,
+            write=write,
+            advance=advance,
+            same_shared_set=same_shared_set,
+        )
 
-        Cost model: the slowest access's full latency plus a per-line issue
-        gap (small for private-cache hits, larger for uncore misses).  State
-        updates are applied in order; events due at the start are drained
-        first and the whole burst is atomic, which is accurate at the
-        microsecond scale of one traversal.
+    def probe_batch(
+        self,
+        core: int,
+        lines: Sequence[int],
+        write: bool = False,
+        same_shared_set: bool = False,
+    ) -> int:
+        """Timed overlapped traversal, as the attacker's probe measures it.
+
+        Returns the traversal's elapsed cycles plus the fixed timer
+        overhead — exactly what the monitoring loops previously computed by
+        hand around :meth:`access_parallel`.
         """
-        if not lines:
-            return 0
-        self._drain_events()
-        lat = self.cfg.latency
-        hier = self.hierarchy
-        now = self.now
-        worst = 0
-        gaps = 0
-        level_lat = self._level_latency
-        # When all lines are congruent (an eviction set), one reconciliation
-        # covers the whole batch — the hot path of every monitoring loop.
-        reconcile_each = True
-        if same_shared_set:
-            reconcile_each = False
-            if hier.noise_source is not None:
-                hier.noise_source.reconcile(
-                    hier, hier.shared_set_index(lines[0]), now
-                )
-        for line in lines:
-            level = hier.access(core, line, now, write=write, reconcile=reconcile_each)
-            lt = level_lat[level]
-            if lt > worst:
-                worst = lt
-            gaps += lat.hit_issue_gap if level <= Level.L2 else lat.issue_gap
-        elapsed = worst + gaps
-        elapsed += self._preemption_penalty(elapsed)
-        if advance:
-            self.advance(elapsed)
-        return elapsed
+        elapsed = self.access_batch(
+            core, lines, write=write, same_shared_set=same_shared_set
+        )
+        return elapsed + self.cfg.latency.timer_overhead
 
     def access_chase(
-        self, core: int, lines: Sequence[int], write: bool = False
+        self,
+        core: int,
+        lines: Sequence[int],
+        write: bool = False,
+        shadow_core: Optional[int] = None,
     ) -> int:
         """Serialized pointer-chase traversal; returns elapsed cycles.
 
         Each access waits for the previous one (plus address-generation/TLB
         overhead), and scheduled events interleave between accesses — so a
         long chase exposes the target set to the full noise window.
+
+        ``shadow_core`` interleaves a concurrent (zero-cost) shadow access
+        per line, turning each line shared.  The shadowed chase is costed as
+        the main core's load latency plus the chase overhead per line — the
+        overhead overlaps the helper's work, so it is charged but not
+        clocked — and ``write`` does not apply (the main access is a plain
+        load; making a line shared and exclusive at once is contradictory).
         """
         lat = self.cfg.latency
         total = 0
-        for line in lines:
-            self._drain_events()
-            level = self.hierarchy.access(core, line, self.now, write=write)
-            step = self._level_latency[level] + lat.chase_overhead
-            step += self._preemption_penalty(step)
-            self.advance(step)
-            total += step
+        if shadow_core is None:
+            events = self._events
+            for line in lines:
+                if events and events[0][0] <= self.now:
+                    self._drain_events()
+                level = self.hierarchy.access(core, line, self.now, write=write)
+                step = self._level_latency[level] + lat.chase_overhead
+                step += self._preemption_penalty(step)
+                self.advance(step)
+                total += step
+        else:
+            for line in lines:
+                _, latency = self.access(core, line)
+                self.access(shadow_core, line, advance=False)
+                total += latency + lat.chase_overhead
         return total
 
     def flush(self, line: int) -> int:
@@ -263,6 +353,23 @@ class Machine:
         cost += self._preemption_penalty(cost)
         self.advance(cost)
         return cost
+
+    def flush_all_caches(self) -> None:
+        """Drop every cached line from every structure (instantaneous).
+
+        Passes the current cycle into each cache's ``flush_all`` so the
+        per-set noise-reconciliation clocks are carried forward instead of
+        being reset — a reset would make the next access to each set draw a
+        Poisson catch-up over the machine's entire elapsed history.
+        """
+        hier = self.hierarchy
+        now = self.now
+        for cache in hier.l1:
+            cache.flush_all(now)
+        for cache in hier.l2:
+            cache.flush_all(now)
+        hier.sf.flush_all(now)
+        hier.llc.flush_all(now)
 
     # -- Attacker-visible timing helpers -----------------------------------------
 

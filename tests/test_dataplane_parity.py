@@ -1,0 +1,302 @@
+"""Old-vs-new parity for the flat array-backed data plane.
+
+Two oracles pin :class:`repro.memsys.cache.SetAssociativeCache` to the seed
+implementation preserved in :mod:`repro.memsys._reference`:
+
+* **Dynamic parity** — the same randomized operation strings and the same
+  simulated attack flows are driven through both implementations and every
+  observable (hit levels, latencies, evicted lines, clock, noise events,
+  hierarchy stats) must agree exactly.
+* **Golden fingerprints** — sha256 digests of end-to-end runs (raw access
+  streams, bulk eviction-set construction, a Prime+Probe monitor trace)
+  captured from the pristine seed code before the refactor.  These freeze
+  seed behavior against drift in *both* implementations.
+
+Satellite regression coverage lives here too: the ``flush_all`` noise-clock
+carry and the ``insert`` owner-update semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.config import cloud_run_noise, skylake_sp_small, tiny_machine
+from repro.memsys._reference import ReferenceSetAssociativeCache
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.machine import Machine
+from repro.memsys.replacement import policy_names
+
+
+def _h(obj) -> str:
+    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
+
+
+# --- Cache-level dynamic parity ---------------------------------------------
+
+
+def _snapshot(cache, sets):
+    return {
+        "occ": [cache.occupancy(s) for s in sets],
+        "tags": [sorted(cache.tags_in_set(s)) for s in sets],
+        "touched": cache.touched_sets,
+    }
+
+
+#: op: (kind, set_idx, tag, owner) — kind 0=insert 1=remove 2=lookup
+#: 3=contains/owner_of 4=peek_victim.
+_cache_ops = st.lists(
+    st.tuples(
+        st.integers(0, 4), st.integers(0, 3), st.integers(0, 40), st.integers(0, 3)
+    ),
+    max_size=250,
+)
+
+
+@pytest.mark.parametrize("policy", policy_names())
+class TestCacheMatchesReference:
+    @given(ops=_cache_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_randomized_op_strings(self, policy, ops):
+        ways = 4
+        sets = 8
+        flat = SetAssociativeCache("F", sets, ways, policy, make_rng(("p", policy)))
+        ref = ReferenceSetAssociativeCache(
+            "R", sets, ways, policy, make_rng(("p", policy))
+        )
+        for kind, set_idx, tag, owner in ops:
+            if kind == 0:
+                assert flat.insert(set_idx, tag, owner) == ref.insert(
+                    set_idx, tag, owner
+                )
+            elif kind == 1:
+                assert flat.remove(set_idx, tag) == ref.remove(set_idx, tag)
+            elif kind == 2:
+                assert flat.lookup(set_idx, tag) == ref.lookup(set_idx, tag)
+            elif kind == 3:
+                assert flat.contains(set_idx, tag) == ref.contains(set_idx, tag)
+                assert flat.owner_of(set_idx, tag) == ref.owner_of(set_idx, tag)
+            else:
+                assert flat.peek_victim(set_idx) == ref.peek_victim(set_idx)
+        all_sets = range(sets)
+        assert _snapshot(flat, all_sets) == _snapshot(ref, all_sets)
+        assert (flat.policy_touches, flat.policy_fills, flat.policy_victims) == (
+            ref.policy_touches,
+            ref.policy_fills,
+            ref.policy_victims,
+        )
+
+
+# --- Machine-level dynamic parity (reference swapped into the hierarchy) ----
+
+
+def _machine_with(cache_cls, seed=11) -> Machine:
+    import repro.memsys.hierarchy as hmod
+
+    original = hmod.SetAssociativeCache
+    hmod.SetAssociativeCache = cache_cls
+    try:
+        return Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=seed)
+    finally:
+        hmod.SetAssociativeCache = original
+
+
+def _drive(machine: Machine):
+    space = machine.new_address_space()
+    pages = space.alloc_pages(48)
+    lines = [space.translate_line(p) for p in pages]
+    observed = []
+    for rep in range(5):
+        for i, line in enumerate(lines):
+            level, lat = machine.access(i % 2, line, write=(rep % 2 == 1))
+            observed.append((int(level), lat))
+    observed.append(machine.access_batch(0, lines[:16], same_shared_set=False))
+    observed.append(machine.access_batch(0, lines[:8], write=True, shadow_core=None))
+    observed.append(machine.access_chase(1, lines[:12], shadow_core=0))
+    observed.append(machine.flush_batch(lines[:10]))
+    observed.extend(machine.timed_access(0, line) for line in lines[:10])
+    return {
+        "observed": observed,
+        "now": machine.now,
+        "noise_events": machine.noise.events,
+        "stats": machine.hierarchy.stats.as_dict(),
+    }
+
+
+class TestMachineMatchesReference:
+    def test_full_flow_bitwise_identical(self):
+        flat = _drive(_machine_with(SetAssociativeCache))
+        ref = _drive(_machine_with(ReferenceSetAssociativeCache))
+        assert flat == ref
+
+
+# --- Golden fingerprints (captured from the pristine seed implementation) ---
+
+GOLDEN_RAW_STREAM = "4aba39adac0b72f1"
+GOLDEN_BULK_EVSETS = "d6826d537c69f322"
+GOLDEN_BULK_NOISE_EVENTS = 17855
+GOLDEN_MONITOR_PARALLEL = "564a3f6768517a4b"
+
+
+class TestGoldenFingerprints:
+    def test_raw_access_stream(self):
+        machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=9)
+        space = machine.new_address_space()
+        pages = space.alloc_pages(64)
+        levels = []
+        for rep in range(6):
+            for i, p in enumerate(pages):
+                line = space.translate_line(p)
+                lvl, lat = machine.access(i % 2, line, write=(rep % 3 == 2))
+                levels.append((int(lvl), lat))
+        machine.flush_batch([space.translate_line(p) for p in pages[:16]])
+        lat2 = [machine.timed_access(0, space.translate_line(p)) for p in pages[:16]]
+        digest = _h(
+            [levels, lat2, machine.now, machine.hierarchy.stats.as_dict(),
+             machine.noise.events]
+        )
+        assert digest == GOLDEN_RAW_STREAM
+
+    @pytest.mark.slow
+    def test_bulk_construction_and_monitor(self):
+        from repro.core.context import AttackerContext
+        from repro.core.evset import EvsetConfig, bulk_construct_page_offset
+        from repro.core.monitor import ParallelProbing, monitor_set
+        from repro.envs import make_env
+
+        machine, ctx = make_env("cloud", seed=7)
+        bulk = bulk_construct_page_offset(
+            ctx, "bins", 0x2C0, EvsetConfig(budget_ms=100)
+        )
+        assert _h([sorted(e.vas) for e in bulk.evsets]) == GOLDEN_BULK_EVSETS
+        assert machine.noise.events == GOLDEN_BULK_NOISE_EVENTS
+
+        machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=51)
+        ctx = AttackerContext(machine, seed=1)
+        ctx.calibrate()
+        bulk = bulk_construct_page_offset(
+            ctx, "bins", 0x2C0, EvsetConfig(budget_ms=100)
+        )
+        evset = bulk.evsets[0]
+        target_set = ctx.true_set_of(evset.target_va)
+        offset = evset.target_va % 4096
+        space = machine.new_address_space()
+        while True:
+            page = space.alloc_page()
+            line = space.translate_line(page + offset)
+            if machine.hierarchy.shared_set_index(line) == target_set:
+                break
+        interval = 40_000
+        for i in range(30):
+            machine.schedule(
+                machine.now + 5_000 + i * interval,
+                lambda t, line=line: machine.hierarchy.access(3, line, t, write=True),
+            )
+        trace = monitor_set(
+            ParallelProbing(ctx, evset), duration_cycles=30 * interval + 50_000
+        )
+        digest = _h(
+            [trace.timestamps, trace.start, trace.end, trace.probe_latencies,
+             trace.prime_latencies]
+        )
+        assert digest == GOLDEN_MONITOR_PARALLEL
+
+
+# --- Satellite: flush_all carries the noise-reconciliation clock ------------
+
+
+class TestFlushCarriesNoiseClock:
+    def test_cache_keeps_clock_by_default(self):
+        c = SetAssociativeCache("T", 8, 4, "lru", make_rng(0))
+        c.insert(5, 1)
+        c.set_noise_clock(5, 10**9)
+        c.flush_all()
+        assert not c.contains(5, 1)
+        assert c.noise_clock(5) == 10**9
+
+    def test_cache_floors_clocks_at_now(self):
+        c = SetAssociativeCache("T", 8, 4, "lru", make_rng(0))
+        c.set_noise_clock(2, 500)
+        c.flush_all(now=10**9)
+        assert c.noise_clock(2) == 10**9
+        assert c.noise_clock(7) == 10**9  # never-reconciled set floored too
+
+    def test_reference_cache_matches(self):
+        r = ReferenceSetAssociativeCache("R", 8, 4, "lru", make_rng(0))
+        r.set_noise_clock(5, 10**9)
+        r.flush_all()
+        assert r.noise_clock(5) == 10**9
+        r.flush_all(now=2 * 10**9)
+        assert r.noise_clock(3) == 2 * 10**9
+
+    def test_no_poisson_catchup_after_flush_at_large_now(self):
+        """Regression: a flush at large ``now`` must not make the next
+        access drain a whole-history Poisson catch-up (the seed reset the
+        per-set clock to zero, so after e.g. 10^8 cycles every post-flush
+        access drew the capped maximum of noise insertions)."""
+        machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=5)
+        space = machine.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        machine.access(0, line)
+        machine.advance(100_000_000)
+        machine.flush_all_caches()
+        before = machine.noise.events
+        machine.access(0, line)
+        drawn = machine.noise.events - before
+        # At the cloud-run rate the post-flush window is a few hundred
+        # cycles: lam << 1, so at most a stray single event — never the
+        # 3x-associativity cap a zeroed clock would produce.
+        assert drawn <= 2
+
+
+# --- Satellite: insert() owner-update semantics -----------------------------
+
+
+@pytest.mark.parametrize(
+    "cache_cls", [SetAssociativeCache, ReferenceSetAssociativeCache]
+)
+class TestInsertOwnerSemantics:
+    def test_reinsert_updates_owner_by_default(self, cache_cls):
+        c = cache_cls("T", 8, 4, "lru", make_rng(0))
+        c.insert(0, 7, owner=1)
+        c.insert(0, 7, owner=2)
+        assert c.owner_of(0, 7) == 2
+
+    def test_reinsert_with_update_owner_false_preserves_owner(self, cache_cls):
+        c = cache_cls("T", 8, 4, "lru", make_rng(0))
+        c.insert(0, 7, owner=1)
+        assert c.insert(0, 7, owner=2, update_owner=False) is None
+        assert c.owner_of(0, 7) == 1
+
+    def test_recency_refresh_still_touches(self, cache_cls):
+        c = cache_cls("T", 8, 2, "lru", make_rng(0))
+        c.insert(0, 1, owner=1)
+        c.insert(0, 2, owner=1)
+        c.insert(0, 1, owner=9, update_owner=False)  # refresh, not reassign
+        # Tag 1 became MRU, so tag 2 is the victim.
+        assert c.insert(0, 3, owner=1) == (2, 1)
+
+    def test_write_hit_refresh_never_reassigns_sf_entry(self, cache_cls):
+        """The hierarchy's write-hit path refreshes SF recency with
+        update_owner=False; the entry's owner must survive unchanged."""
+        import repro.memsys.hierarchy as hmod
+
+        original = hmod.SetAssociativeCache
+        hmod.SetAssociativeCache = cache_cls
+        try:
+            machine = Machine(tiny_machine(), seed=3)
+        finally:
+            hmod.SetAssociativeCache = original
+        space = machine.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        hier = machine.hierarchy
+        sidx = hier.shared_set_index(line)
+        machine.access(0, line, write=True)
+        assert hier.sf.owner_of(sidx, line) == 0
+        machine.access(0, line, write=True)  # L1 write hit -> recency refresh
+        assert hier.sf.owner_of(sidx, line) == 0

@@ -1,0 +1,56 @@
+"""Determinism lint: no module-level (global) RNG calls in ``src/``.
+
+Every result in this repository is keyed by explicit seeds (``make_rng`` /
+``spawn_rng``), and the campaign engine guarantees bit-identical trials
+regardless of worker count.  A single call into Python's or NumPy's global
+RNG would silently break that: it draws from interpreter-wide state that
+depends on import order and whatever ran before.  This test greps the
+source tree for such calls so the regression is caught at review time.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Module-level RNG entry points.  ``random.Random(seed)`` (constructing an
+#: explicit generator) is fine; ``random.random()`` and friends are not.
+_GLOBAL_RNG = re.compile(
+    r"(?<![\w.])"
+    r"(?:random\.(?:random|randint|randrange|choice|choices|shuffle|sample"
+    r"|uniform|gauss|betavariate|expovariate|seed|getrandbits)\s*\("
+    r"|(?:np|numpy)\.random\.)"
+)
+
+_COMMENT = re.compile(r"(?<!['\"])#.*$")
+
+
+def _violations():
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _GLOBAL_RNG.search(_COMMENT.sub("", line)):
+                found.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    return found
+
+
+def test_no_global_rng_calls_in_src():
+    found = _violations()
+    assert not found, (
+        "module-level RNG calls break seeded determinism; route randomness "
+        "through make_rng/spawn_rng instead:\n" + "\n".join(found)
+    )
+
+
+def test_lint_catches_a_violation(tmp_path):
+    """Self-check: the pattern actually matches the calls it bans."""
+    assert _GLOBAL_RNG.search("x = random.random()")
+    assert _GLOBAL_RNG.search("idx = np.random.randint(0, 4)")
+    assert _GLOBAL_RNG.search("random.shuffle(items)")
+    assert not _GLOBAL_RNG.search("rng = random.Random(seed)")
+    assert not _GLOBAL_RNG.search("self._rng.random()")
+    assert not _GLOBAL_RNG.search("ctx.rng.shuffle(candidates)")

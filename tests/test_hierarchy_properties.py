@@ -46,16 +46,17 @@ def check_invariants(machine, lines):
         # 3. LLC-resident attacker lines are marked shared.
         if hier.in_llc(line):
             assert hier.llc.owner_of(sidx, line) == SHARED_OWNER
-    # 4. No set exceeds its associativity, no duplicate tags (via cache
-    #    internals exercised across all touched sets).
+    # 4. No set exceeds its associativity, no duplicate tags (every set of
+    #    every structure; the tiny preset keeps this cheap).
     for cache in [hier.sf, hier.llc] + hier.l1 + hier.l2:
-        for set_idx in list(cache._sets):
+        for set_idx in range(cache.n_sets):
             tags = cache.tags_in_set(set_idx)
             assert len(tags) <= cache.ways
             assert len(tags) == len(set(tags))
+            assert len(tags) == cache.occupancy(set_idx)
     # 5. Noise tags never appear in private caches.
     for cache in hier.l1 + hier.l2:
-        for set_idx in list(cache._sets):
+        for set_idx in range(cache.n_sets):
             assert all(t < _NOISE_TAG_BASE for t in cache.tags_in_set(set_idx))
 
 

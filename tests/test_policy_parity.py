@@ -1,0 +1,97 @@
+"""Property parity: table-driven policies vs. the object-based originals.
+
+:mod:`repro.memsys.replacement` is the executable specification; the flat
+tables in :mod:`repro.memsys.policy_tables` must make identical decisions.
+Every policy is driven with randomized touch/fill/invalidate/victim strings
+across several interleaved sets (the tables share one state plane and, for
+``random``, one RNG — exactly how a cache uses them) and the victim answers
+must agree at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.errors import ConfigurationError
+from repro.memsys.policy_tables import make_policy_table, table_names
+from repro.memsys.replacement import make_policy, policy_names
+
+N_SETS = 3
+
+#: op encodings: (kind, set_idx, way) with kind 0=touch 1=fill 2=invalidate
+#: 3=victim-query.
+_ops = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, N_SETS - 1), st.integers(0, 7)),
+    max_size=200,
+)
+
+
+def _ways_for(policy: str) -> list:
+    # Tree-PLRU is power-of-two only; everyone else also gets an odd count.
+    return [4, 8] if policy == "tree_plru" else [3, 4, 8]
+
+
+def _run_pair(policy: str, ways: int, ops) -> None:
+    obj_rng = make_rng(("parity", policy, ways))
+    tab_rng = make_rng(("parity", policy, ways))
+    objs = [make_policy(policy, ways, obj_rng) for _ in range(N_SETS)]
+    table = make_policy_table(policy, ways, tab_rng)
+    state = table.make_state(N_SETS)
+    for kind, set_idx, raw_way in ops:
+        way = raw_way % ways
+        base = set_idx * table.stride
+        if kind == 0:
+            objs[set_idx].touch(way)
+            table.touch(state, base, way)
+        elif kind == 1:
+            objs[set_idx].fill(way)
+            table.fill(state, base, way)
+        elif kind == 2:
+            objs[set_idx].invalidate(way)
+            table.invalidate(state, base, way)
+        else:
+            assert table.victim(state, base) == objs[set_idx].victim()
+    # Final victim answer must agree for every set (both draws happen in
+    # the same order here, keeping the shared-RNG policies aligned).
+    for set_idx in range(N_SETS):
+        assert (
+            table.victim(state, set_idx * table.stride)
+            == objs[set_idx].victim()
+        )
+
+
+class TestRegistryMirrors:
+    def test_same_policy_names(self):
+        assert table_names() == policy_names()
+
+    def test_tree_plru_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            make_policy_table("tree_plru", 6, make_rng(0))
+
+
+@pytest.mark.parametrize("policy", policy_names())
+class TestTableMatchesObjectPolicy:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_randomized_op_strings(self, policy, ops):
+        for ways in _ways_for(policy):
+            _run_pair(policy, ways, ops)
+
+    def test_fill_sequence_evicts_identically(self, policy):
+        """A pure fill/victim loop (the cache's miss path) stays in lockstep."""
+        ways = 4
+        obj = make_policy(policy, ways, make_rng(("seq", policy)))
+        table = make_policy_table(policy, ways, make_rng(("seq", policy)))
+        state = table.make_state(1)
+        for way in range(ways):
+            obj.fill(way)
+            table.fill(state, 0, way)
+        for _ in range(40):
+            v_obj = obj.victim()
+            v_tab = table.victim(state, 0)
+            assert v_tab == v_obj
+            obj.fill(v_obj)
+            table.fill(state, 0, v_tab)
