@@ -1,24 +1,39 @@
-"""Simulator throughput — flat data plane vs. the seed reference cache.
+"""Simulator throughput — reference cache vs. flat plane vs. fused kernels.
 
 Not a paper artifact: this benchmark tracks the performance of the
-simulator itself.  The hot path runs on the flat array-backed
-:class:`repro.memsys.cache.SetAssociativeCache` (DESIGN.md §2.2); the seed
-dict-of-sets implementation is preserved in :mod:`repro.memsys._reference`
-and is swapped into the hierarchy here to measure genuine before/after
-numbers on the same host:
+simulator itself across its three generations of hot path:
+
+* **reference** — the seed dict-of-sets cache preserved in
+  :mod:`repro.memsys._reference`, swapped into the hierarchy, driven with
+  per-line access semantics;
+* **batched** — the flat array-backed
+  :class:`repro.memsys.cache.SetAssociativeCache` (DESIGN.md §2.2) with
+  the ``same_shared_set`` batched Machine APIs, fused kernels disabled
+  (:func:`repro.memsys.kernels_disabled`);
+* **kernels** — the same flat plane driven through the fused attack
+  kernels and the translation plane (DESIGN.md §2.3), the default path.
+
+All three run the same workloads and — because the kernels are
+bit-identical by construction — must produce the same eviction sets; the
+sanity asserts at the bottom enforce that, and the kernel-vs-batched
+check is the CI perf smoke for the kernel layer (the fused path must not
+regress below the batched one on the monitor loop).
+
+Workloads:
 
 * accesses/sec through the Prime+Probe monitor hot loop (prime + probe
-  traversals of a ways-sized eviction set; reference runs it with the
-  seed's per-line semantics, the flat plane with the batched
-  ``same_shared_set`` APIs — interleaved best-of-N against host noise),
+  traversals of a ways-sized SF-congruent eviction set, interleaved
+  best-of-N against host noise),
 * SF eviction-set constructions/sec (BinS with candidate filtering),
-* one end-to-end trial (bulk construction + Parallel Probing monitor).
+* one end-to-end trial (bulk construction + Parallel Probing monitor),
+* a cProfile breakdown (top-10 by cumulative time) of fused eviction-set
+  construction, so the next optimization round starts from data.
 
-Results, speedups, and the data-plane counters
+Results, speedups, the profile, and the data-plane counters
 (:func:`repro.analysis.dataplane_summary`) are written to
-``BENCH_perf.json``.  There is deliberately **no hard threshold gate** —
-shared CI runners are too noisy for one — only sanity checks that both
-implementations ran; the speedup is tracked by inspection.
+``BENCH_perf.json``.  Apart from the kernel-vs-batched smoke check there
+is **no hard threshold gate** — shared CI runners are too noisy for one;
+cross-implementation speedups are tracked by inspection.
 
 Run directly (``--quick`` shrinks every workload for CI smoke runs)::
 
@@ -29,10 +44,12 @@ or through the harness: ``pytest benchmarks/bench_perf_memsys.py``.
 
 from __future__ import annotations
 
+import cProfile
 import json
 import math
+import pstats
 import sys
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 from time import perf_counter
 
@@ -49,6 +66,7 @@ from repro.core.evset import (
     construct_sf_evset,
 )
 from repro.core.monitor import ParallelProbing, monitor_set
+from repro.memsys import AttackKernels, TranslationPlane, kernels_disabled
 from repro.memsys._reference import ReferenceSetAssociativeCache
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.machine import Machine
@@ -67,6 +85,14 @@ def _cache_impl(cache_cls):
         yield
     finally:
         hmod.SetAssociativeCache = original
+
+
+def _fused_guard(fused: bool):
+    """nullcontext for the default kernel path, kernels_disabled otherwise."""
+    return nullcontext() if fused else kernels_disabled()
+
+
+# --- Monitor hot loop -------------------------------------------------------
 
 
 def _accesses_setup(cache_cls):
@@ -97,8 +123,7 @@ def _accesses_round(machine, evset, batched: bool, reps: int) -> float:
     ``batched=False`` runs the traversal with the seed's semantics — every
     access reconciles background noise individually — while ``batched=True``
     uses the ``same_shared_set`` batched APIs (one reconciliation per
-    traversal), i.e. the full before/after contrast of this change: flat
-    data plane + batched access paths vs. reference cache + per-line calls.
+    traversal): the flat-plane-vs-reference contrast.
     """
     count = 0
     t0 = perf_counter()
@@ -110,61 +135,93 @@ def _accesses_round(machine, evset, batched: bool, reps: int) -> float:
     return count / (perf_counter() - t0)
 
 
+def _accesses_round_kernels(machine, kernels, rows, reps: int) -> float:
+    """The same monitor round through the fused kernels (DESIGN.md §2.3)."""
+    count = 0
+    n = len(rows.lines)
+    t0 = perf_counter()
+    for _ in range(reps):
+        kernels.prime_probe_kernel(rows, n, prime_rounds=1)
+        for _ in range(4):
+            kernels.prime_probe_kernel(rows, n, probe=True)
+        count += 5 * n
+    return count / (perf_counter() - t0)
+
+
 def _bench_accesses(quick: bool):
-    """Monitor-loop throughput, reference vs. flat, interleaved best-of-N.
+    """Monitor-loop throughput, all three hot paths, interleaved best-of-N.
 
     Shared/burst-throttled hosts swing throughput by 2x over minutes;
-    interleaving the two implementations round-robin and taking each side's
-    best round keeps the ratio honest under that noise.
+    interleaving the implementations round-robin and taking each side's
+    best round keeps the ratios honest under that noise.
     """
     rounds = 2 if quick else 4
     reps = 40 if quick else 300
     ref_machine, ref_evset = _accesses_setup(ReferenceSetAssociativeCache)
     flat_machine, flat_evset = _accesses_setup(SetAssociativeCache)
-    assert flat_evset == ref_evset, "parity violation: address maps differ"
-    best_ref = best_flat = 0.0
+    kern_machine, kern_evset = _accesses_setup(SetAssociativeCache)
+    assert flat_evset == ref_evset == kern_evset, (
+        "parity violation: address maps differ"
+    )
+    # The monitor loop works on raw lines, so the plane's translate is the
+    # identity — the kernels see the same geometry the Machine would.
+    plane = TranslationPlane(kern_machine.hierarchy, lambda line: line)
+    kernels = AttackKernels(kern_machine, plane)
+    assert kernels.engaged()
+    rows = plane.rows(kern_evset)
+    best_ref = best_flat = best_kern = 0.0
     for _ in range(rounds):
         best_ref = max(best_ref, _accesses_round(ref_machine, ref_evset, False, reps))
         best_flat = max(
             best_flat, _accesses_round(flat_machine, flat_evset, True, reps)
         )
-    return best_ref, best_flat, flat_machine
+        best_kern = max(
+            best_kern, _accesses_round_kernels(kern_machine, kernels, rows, reps)
+        )
+    return best_ref, best_flat, best_kern, flat_machine
 
 
-def _bench_evsets(cache_cls, trials: int):
+# --- Construction workloads -------------------------------------------------
+
+
+def _bench_evsets(cache_cls, trials: int, fused: bool):
     """SF eviction-set constructions/sec (BinS, filtered candidates)."""
     with _cache_impl(cache_cls):
         machine, ctx = make_env("cloud", seed=13)
-    cand = build_candidate_set(ctx, PAGE_OFFSET)
-    targets = [cand.vas.pop() for _ in range(trials)]
-    successes = 0
-    t0 = perf_counter()
-    for target in targets:
-        outcome = construct_sf_evset(ctx, "bins", target, list(cand.vas))
-        successes += bool(outcome.success)
-    elapsed = perf_counter() - t0
+    with _fused_guard(fused):
+        cand = build_candidate_set(ctx, PAGE_OFFSET)
+        targets = [cand.vas.pop() for _ in range(trials)]
+        successes = 0
+        t0 = perf_counter()
+        for target in targets:
+            outcome = construct_sf_evset(ctx, "bins", target, list(cand.vas))
+            successes += bool(outcome.success)
+        elapsed = perf_counter() - t0
     return trials / elapsed, successes, machine
 
 
-def _bench_trial(cache_cls, budget_ms: int):
+def _bench_trial(cache_cls, budget_ms: int, fused: bool):
     """One end-to-end trial: bulk construction + a monitoring window."""
     with _cache_impl(cache_cls):
         machine, ctx = make_env("cloud", seed=7)
-    t0 = perf_counter()
-    bulk = bulk_construct_page_offset(
-        ctx, "bins", PAGE_OFFSET, EvsetConfig(budget_ms=budget_ms)
-    )
-    if bulk.evsets:
-        monitor_set(ParallelProbing(ctx, bulk.evsets[0]), duration_cycles=400_000)
-    elapsed = perf_counter() - t0
+    with _fused_guard(fused):
+        t0 = perf_counter()
+        bulk = bulk_construct_page_offset(
+            ctx, "bins", PAGE_OFFSET, EvsetConfig(budget_ms=budget_ms)
+        )
+        if bulk.evsets:
+            monitor_set(
+                ParallelProbing(ctx, bulk.evsets[0]), duration_cycles=400_000
+            )
+        elapsed = perf_counter() - t0
     return elapsed, len(bulk.evsets), machine
 
 
-def _measure(cache_cls, quick: bool):
+def _measure(cache_cls, quick: bool, fused: bool):
     trials = 2 if quick else 6
     budget_ms = 20 if quick else 100
-    ev_rate, successes, _ = _bench_evsets(cache_cls, trials)
-    trial_s, n_evsets, trial_machine = _bench_trial(cache_cls, budget_ms)
+    ev_rate, successes, _ = _bench_evsets(cache_cls, trials, fused)
+    trial_s, n_evsets, trial_machine = _bench_trial(cache_cls, budget_ms, fused)
     return {
         "evsets_per_sec": ev_rate,
         "evset_successes": successes,
@@ -173,47 +230,100 @@ def _measure(cache_cls, quick: bool):
     }, trial_machine
 
 
+# --- Profile stage ----------------------------------------------------------
+
+
+def _profile_construction(quick: bool):
+    """cProfile top-10 (cumulative) of fused eviction-set construction.
+
+    The Amdahl accounting that motivated the kernel layer: after each
+    optimization round, the next bottleneck is whatever tops this list.
+    """
+    with _cache_impl(SetAssociativeCache):
+        machine, ctx = make_env("cloud", seed=13)
+    cand = build_candidate_set(ctx, PAGE_OFFSET)
+    targets = [cand.vas.pop() for _ in range(1 if quick else 3)]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for target in targets:
+        construct_sf_evset(ctx, "bins", target, list(cand.vas))
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    total = getattr(stats, "total_tt", 0.0)
+    rows = []
+    entries = sorted(stats.stats.items(), key=lambda kv: -kv[1][3])
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in entries:
+        name = f"{Path(filename).name}:{lineno}({func})"
+        if func.startswith("<") and "lambda" not in func:
+            continue  # interpreter plumbing (<module>, <built-in ...>)
+        rows.append(
+            {
+                "function": name,
+                "ncalls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+        if len(rows) == 10:
+            break
+    return {"total_time_s": round(total, 4), "top10_cumulative": rows}
+
+
+# --- Driver -----------------------------------------------------------------
+
+
 def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
     print_header(
-        "Simulator throughput: flat data plane vs. seed reference cache",
-        "Infrastructure benchmark (DESIGN.md 2.2), not a paper artifact.",
+        "Simulator throughput: reference cache vs. flat plane vs. fused kernels",
+        "Infrastructure benchmark (DESIGN.md 2.2, 2.3), not a paper artifact.",
     )
-    ref_acc, flat_acc, acc_machine = _bench_accesses(quick)
-    before, _ = _measure(ReferenceSetAssociativeCache, quick)
-    after, trial_machine = _measure(SetAssociativeCache, quick)
+    ref_acc, flat_acc, kern_acc, acc_machine = _bench_accesses(quick)
+    before, _ = _measure(ReferenceSetAssociativeCache, quick, fused=False)
+    after, _ = _measure(SetAssociativeCache, quick, fused=False)
+    kernels, trial_machine = _measure(SetAssociativeCache, quick, fused=True)
     before["accesses_per_sec"] = ref_acc
     after["accesses_per_sec"] = flat_acc
+    kernels["accesses_per_sec"] = kern_acc
 
     speedup = {
         "accesses_per_sec": after["accesses_per_sec"] / before["accesses_per_sec"],
         "evsets_per_sec": after["evsets_per_sec"] / before["evsets_per_sec"],
         "trial_seconds": before["trial_seconds"] / after["trial_seconds"],
     }
+    kernel_speedup = {
+        "accesses_per_sec": kernels["accesses_per_sec"] / after["accesses_per_sec"],
+        "evsets_per_sec": kernels["evsets_per_sec"] / after["evsets_per_sec"],
+        "trial_seconds": after["trial_seconds"] / kernels["trial_seconds"],
+    }
 
     table = Table(
         "Simulator throughput (same host, same workloads)",
-        ["Metric", "Reference (seed)", "Flat plane", "Speedup"],
+        ["Metric", "Reference (seed)", "Flat plane", "Kernels", "Kern/Flat"],
     )
     table.add_row(
         "accesses/sec",
         f"{before['accesses_per_sec']:,.0f}",
         f"{after['accesses_per_sec']:,.0f}",
-        f"{speedup['accesses_per_sec']:.2f}x",
+        f"{kernels['accesses_per_sec']:,.0f}",
+        f"{kernel_speedup['accesses_per_sec']:.2f}x",
     )
     table.add_row(
         "evset constructions/sec",
         f"{before['evsets_per_sec']:.2f}",
         f"{after['evsets_per_sec']:.2f}",
-        f"{speedup['evsets_per_sec']:.2f}x",
+        f"{kernels['evsets_per_sec']:.2f}",
+        f"{kernel_speedup['evsets_per_sec']:.2f}x",
     )
     table.add_row(
         "end-to-end trial (s)",
         f"{before['trial_seconds']:.2f}",
         f"{after['trial_seconds']:.2f}",
-        f"{speedup['trial_seconds']:.2f}x",
+        f"{kernels['trial_seconds']:.2f}",
+        f"{kernel_speedup['trial_seconds']:.2f}x",
     )
     table.print()
 
+    profile = _profile_construction(quick)
     dataplane = {
         "access_workload": dataplane_summary(acc_machine),
         "trial_workload": dataplane_summary(trial_machine),
@@ -222,26 +332,38 @@ def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
         "quick": quick,
         "before": before,
         "after": after,
+        "kernels": kernels,
         "speedup": speedup,
+        "kernel_speedup": kernel_speedup,
+        "profile": profile,
         "dataplane": dataplane,
     }
     Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nWrote {out_path}")
 
-    # Sanity only — no perf threshold gate (CI runners are too noisy).
-    for metrics in (before, after):
+    # Sanity checks.  Cross-implementation speedups carry no threshold
+    # (CI runners are too noisy), but all three paths must agree on every
+    # *outcome* — the kernels are bit-identical by contract.
+    for metrics in (before, after, kernels):
         assert metrics["accesses_per_sec"] > 0
         assert math.isfinite(metrics["trial_seconds"])
-    assert after["evset_successes"] == before["evset_successes"], (
-        "parity violation: the two implementations must construct the "
-        "same eviction sets"
+    assert after["evset_successes"] == before["evset_successes"] == kernels[
+        "evset_successes"
+    ], "parity violation: the three paths must construct the same eviction sets"
+    assert after["trial_evsets"] == before["trial_evsets"] == kernels["trial_evsets"]
+    # Kernel perf smoke: with interleaved best-of-N the fused monitor loop
+    # must not fall behind the batched one (0.9 absorbs residual jitter).
+    assert kern_acc >= 0.9 * flat_acc, (
+        f"fused kernels slower than batched path on the monitor loop: "
+        f"{kern_acc:,.0f} vs {flat_acc:,.0f} accesses/sec"
     )
-    assert after["trial_evsets"] == before["trial_evsets"]
     return {
         "accesses_speedup": speedup["accesses_per_sec"],
         "evsets_speedup": speedup["evsets_per_sec"],
         "trial_speedup": speedup["trial_seconds"],
-        "flat_accesses_per_sec": after["accesses_per_sec"],
+        "kernel_accesses_speedup": kernel_speedup["accesses_per_sec"],
+        "kernel_evsets_speedup": kernel_speedup["evsets_per_sec"],
+        "kernel_accesses_per_sec": kernels["accesses_per_sec"],
     }
 
 

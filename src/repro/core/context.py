@@ -11,11 +11,12 @@ level builds on.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._util import make_rng, median, spawn_rng
 from ..config import LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from ..errors import ConfigurationError
+from ..memsys.kernels import AttackKernels, PlaneRows, TranslationPlane
 from ..memsys.machine import Machine
 
 
@@ -48,6 +49,9 @@ class AttackerContext:
         self.rng = make_rng(("attacker", seed))
         self.aspace = machine.new_address_space(va_base=0x20_0000_0000)
         self._lines: Dict[int, int] = {}
+        self._lines_memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        self._plane = TranslationPlane(machine.hierarchy, self.line)
+        self._kernels: Optional[AttackKernels] = None
         self._pool: List[int] = []  # unused mapped pages
         # Thresholds start from the architectural defaults; calibrate()
         # replaces them with measured values.
@@ -78,8 +82,48 @@ class AttackerContext:
             lines[va] = pline
         return pline
 
-    def lines(self, vas: Sequence[int]) -> List[int]:
-        return [self.line(va) for va in vas]
+    def lines(self, vas: Sequence[int]) -> Tuple[int, ...]:
+        """Translate a candidate tuple (memoized per tuple).
+
+        The same pool is traversed hundreds of times per construction;
+        memoizing whole tuples (on top of the per-VA memo) makes the
+        repeat translations one dict probe.  Short tuples are not worth
+        the key build; the bound mirrors ``TranslationPlane._MEMO_CAP``.
+        """
+        key = vas if type(vas) is tuple else tuple(vas)
+        memo = self._lines_memo
+        out = memo.get(key)
+        if out is None:
+            line = self.line
+            out = tuple([line(va) for va in key])
+            if len(key) > 2:
+                if len(memo) >= 512:
+                    memo.clear()
+                memo[key] = out
+        return out
+
+    def rows(self, vas: Sequence[int]) -> PlaneRows:
+        """Precomputed address geometry for a candidate tuple (kernels)."""
+        return self._plane.rows(vas)
+
+    def prepare(self, vas: Sequence[int]) -> None:
+        """Eagerly warm the translation plane for a candidate pool."""
+        self._plane.warm(vas)
+
+    def attack_kernels(self) -> AttackKernels:
+        """The fused kernel bundle bound to this context (lazy singleton)."""
+        kernels = self._kernels
+        if kernels is None:
+            kernels = self._kernels = AttackKernels(
+                self.machine, self._plane, self.main_core, self.helper_core
+            )
+        return kernels
+
+    def invalidate_translations(self) -> None:
+        """Drop all cached VA->line/geometry state (address-space change)."""
+        self._lines.clear()
+        self._lines_memo.clear()
+        self._plane.invalidate()
 
     # -- Ground-truth inspection (experiment harness only, not attack logic) ----
 

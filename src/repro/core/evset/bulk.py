@@ -15,6 +15,12 @@ whole system (WholeSys, 64x more).  The procedure per page offset:
 WholeSys reuses the filtered groups of the base offset by shifting every
 address by the page-offset delta (Section 5.3.1), so only U_L2 filtering
 executions are needed for the entire system.
+
+Bulk construction is where the fused kernels pay off end to end: the
+candidate pool's translation plane is warmed once in
+:func:`build_candidate_set` and every downstream filter/prune/dedup test
+reuses those rows (DESIGN.md §2.3).  WholeSys's shifted addresses are new
+VAs and get their own plane rows on first use.
 """
 
 from __future__ import annotations

@@ -50,4 +50,8 @@ def build_candidate_set(
     pages = ctx.alloc_pages(size)
     vas = [p + page_offset for p in pages]
     ctx.rng.shuffle(vas)
+    # Warm the translation plane eagerly: the whole pool is about to be
+    # traversed hundreds of times by group testing, and translation is a
+    # pure function of the (now established) page mapping.
+    ctx.prepare(vas)
     return CandidateSet(page_offset=page_offset, vas=vas)

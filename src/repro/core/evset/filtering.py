@@ -10,6 +10,12 @@ single biggest lever against cloud noise.
 Section 5.3.1's reuse tricks are here too: the filtered groups at page
 offset 0 can be *shifted* by a small delta to obtain filtered groups at any
 other page offset (L2 congruence is preserved under same-page shifts).
+
+Filtering is the heaviest ``test_many`` caller — one L2 eviction set
+tested against hundreds of candidates — so it is the main beneficiary of
+the fused ``test_many_kernel`` (DESIGN.md §2.3), which translates the
+traversal once and reuses the plane rows for every per-candidate
+prime/traverse/reload cycle.
 """
 
 from __future__ import annotations

@@ -14,6 +14,11 @@ Three variants, selected by constructor flags:
 All variants share the backtracking mechanism: when no group is removable
 (usually because an earlier noise-induced false positive discarded
 congruent addresses), the most recently discarded group is restored.
+
+Every membership query routes through ``tester.test``, so on an engaged
+data plane the whole pruner runs on the fused attack kernels
+(DESIGN.md §2.3): the working set is translated once per round and each
+TestEviction is a single prime+traverse+reload sweep.
 """
 
 from __future__ import annotations

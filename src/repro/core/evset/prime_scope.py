@@ -11,6 +11,11 @@ noise (Section 4.3).
 **PsOp** (Appendix A): after each congruent address is found, candidates
 from the back of the list are recharged to a near-front position, keeping
 congruent density near the scan head.
+
+Because the scan is sequential, Prime+Scope only gets the *translation*
+half of the kernel layer: flushes and address geometry come from the
+shared :class:`TranslationPlane` rows, while the accesses themselves stay
+on the unfused pointer-chase path (DESIGN.md §2.3).
 """
 
 from __future__ import annotations

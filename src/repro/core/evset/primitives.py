@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ...errors import ConfigurationError
+from ...memsys import kernels as kernelmod
 from ..context import AttackerContext
 
 
@@ -37,6 +38,10 @@ class EvictionTester:
         mode: ``"llc"``, ``"sf"``, or ``"l2"``.
         parallel: Use overlapped traversal (True) or pointer-chase (False).
         repeats: Traversals per test (1 suffices under LRU-like policies).
+        use_kernels: Route parallel tests through the fused attack
+            kernels (DESIGN.md §2.3) when the machine's data plane
+            supports them.  False forces the unfused path — the parity
+            baseline the kernel suite diffs against.
     """
 
     def __init__(
@@ -45,6 +50,7 @@ class EvictionTester:
         mode: str = "llc",
         parallel: bool = True,
         repeats: int = 1,
+        use_kernels: bool = True,
     ) -> None:
         if mode not in ("llc", "sf", "l2"):
             raise ConfigurationError(f"unknown TestEviction mode {mode!r}")
@@ -52,10 +58,18 @@ class EvictionTester:
         self.mode = mode
         self.parallel = parallel
         self.repeats = max(1, repeats)
+        self.use_kernels = use_kernels
         cfg = ctx.machine.cfg
         self.ways = {"llc": cfg.llc.ways, "sf": cfg.sf.ways, "l2": cfg.l2.ways}[mode]
         self.n_tests = 0
         self.traversed_addresses = 0
+
+    def _kernels(self):
+        """The engaged kernel bundle, or None for the unfused path."""
+        if not (self.use_kernels and kernelmod.KERNELS_ENABLED):
+            return None
+        kernels = self.ctx.attack_kernels()
+        return kernels if kernels.engaged() else None
 
     # -- State manipulation ------------------------------------------------------
 
@@ -70,14 +84,20 @@ class EvictionTester:
         clflush is always available.  (Stores carry their own RFO, so the
         SF mode needs no flush.)
         """
+        self._prime_line(self.ctx.line(target_va))
+
+    def _prime_line(self, tline: int) -> None:
+        """:meth:`prime_target` on a pre-translated line (batched callers)."""
+        machine = self.ctx.machine
         if self.mode == "llc":
-            self.ctx.flush(target_va)
-            self.ctx.load_shared(target_va)
+            machine.flush(tline)
+            machine.access(self.ctx.main_core, tline)
+            machine.access(self.ctx.helper_core, tline, advance=False)
         elif self.mode == "sf":
-            self.ctx.store(target_va)
+            machine.access(self.ctx.main_core, tline, write=True)
         else:
-            self.ctx.flush(target_va)
-            self.ctx.load(target_va)
+            machine.flush(tline)
+            machine.access(self.ctx.main_core, tline)
 
     def traverse(self, vas: Sequence[int], n: Optional[int] = None) -> None:
         """Flush then access the first ``n`` candidates in this mode's state.
@@ -90,8 +110,30 @@ class EvictionTester:
         candidate contribute exactly one insertion.
         """
         count = len(vas) if n is None else min(n, len(vas))
+        kernels = self._kernels()
+        if kernels is not None:
+            rows = self.ctx.rows(vas)
+            if self.parallel:
+                kernels.traverse_kernel(self.mode, rows, count, self.repeats)
+            else:
+                # Pointer-chase traversal (Prime+Scope): the chase itself
+                # stays unfused, but the flush and translation do not.
+                self._chase_rows(kernels, rows, count)
+            self.traversed_addresses += count * self.repeats
+            return
         lines = self.ctx.lines(vas if count == len(vas) else vas[:count])
         self._traverse_lines(lines)
+
+    def _chase_rows(self, kernels, rows, count: int) -> None:
+        """Fused-flush + sequential chase (the non-parallel traversal)."""
+        ctx = self.ctx
+        machine = ctx.machine
+        lines = rows.lines if count == len(rows.lines) else rows.lines[:count]
+        write = self.mode == "sf"
+        kernels.flush_rows(rows, count)
+        shadow = ctx.helper_core if self.mode == "llc" else None
+        for _ in range(self.repeats):
+            machine.access_chase(ctx.main_core, lines, write=write, shadow_core=shadow)
 
     def _traverse_lines(self, lines: Sequence[int]) -> None:
         """Flush then access pre-translated candidate lines (see traverse)."""
@@ -126,6 +168,19 @@ class EvictionTester:
     def test(self, target_va: int, vas: Sequence[int], n: Optional[int] = None) -> bool:
         """TestEviction: do the first ``n`` candidates evict the target?"""
         self.n_tests += 1
+        count = len(vas) if n is None else min(n, len(vas))
+        kernels = self._kernels()
+        if kernels is not None and self.parallel:
+            verdict = kernels.test_eviction_kernel(
+                self.mode,
+                self.ctx.line(target_va),
+                self.ctx.rows(vas),
+                count,
+                self.repeats,
+                self.threshold,
+            )
+            self.traversed_addresses += count * self.repeats
+            return verdict
         self.prime_target(target_va)
         self.traverse(vas, n)
         return self.check_evicted(target_va)
@@ -136,18 +191,35 @@ class EvictionTester:
         """TestEviction of each target against one fixed candidate list.
 
         The batched form of calling :meth:`test` in a loop: the candidate
-        traversal is translated once and reused for every target (the big
-        win in candidate filtering, where the same L2 eviction set is
-        tested against hundreds of candidates).
+        traversal is translated once and reused for every target, and the
+        per-target prime and verdict reload run on pre-translated lines
+        through the Machine directly (the big win in candidate filtering,
+        where the same L2 eviction set is tested against hundreds of
+        candidates).
         """
         count = len(vas) if n is None else min(n, len(vas))
+        targets = len(target_vas)
+        line = self.ctx.line
+        tlines = [line(va) for va in target_vas]
+        kernels = self._kernels()
+        if kernels is not None and self.parallel:
+            self.n_tests += targets
+            verdicts = kernels.test_many_kernel(
+                self.mode, tlines, self.ctx.rows(vas), count, self.repeats,
+                self.threshold,
+            )
+            self.traversed_addresses += count * self.repeats * targets
+            return verdicts
+        machine = self.ctx.machine
+        main_core = self.ctx.main_core
+        threshold = self.threshold
         lines = self.ctx.lines(vas if count == len(vas) else vas[:count])
         verdicts: List[bool] = []
-        for target_va in target_vas:
+        for tline in tlines:
             self.n_tests += 1
-            self.prime_target(target_va)
+            self._prime_line(tline)
             self._traverse_lines(lines)
-            verdicts.append(self.check_evicted(target_va))
+            verdicts.append(machine.timed_access(main_core, tline) > threshold)
         return verdicts
 
     def is_eviction_set(self, target_va: int, vas: Sequence[int], votes: int = 1) -> bool:

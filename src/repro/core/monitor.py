@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from .._util import mean, stddev
 from ..errors import ConfigurationError
+from ..memsys import kernels as kernelmod
 from .context import AttackerContext
 from .evset.types import EvictionSet
 from .traces import AccessTrace
@@ -47,11 +48,19 @@ class MonitorStrategy:
         self.ctx = ctx
         self.evset = evset
         # Translate once; the prime/probe loops then cross into the memory
-        # system through the batched Machine APIs with no per-iteration
-        # VA->line work.
-        self._lines = ctx.lines(evset.vas)
+        # system through the fused kernels (or the batched Machine APIs on
+        # the unfused path) with no per-iteration VA->line work.
+        self._rows = ctx.rows(evset.vas)
+        self._lines = self._rows.lines
         self.prime_latencies: List[int] = []
         self.probe_latencies: List[int] = []
+
+    def _kernels(self):
+        """The engaged kernel bundle, or None for the unfused path."""
+        if not kernelmod.KERNELS_ENABLED:
+            return None
+        kernels = self.ctx.attack_kernels()
+        return kernels if kernels.engaged() else None
 
     # -- Strategy interface -------------------------------------------------
 
@@ -133,7 +142,7 @@ class ParallelProbing(MonitorStrategy):
             lat.timer_overhead + lat.l2_hit + w * lat.hit_issue_gap + lat.llc_hit // 2
         )
 
-    def _llc_scrub(self) -> None:
+    def _llc_scrub(self, kernels) -> None:
         """Evict stale copies from the *LLC* set that mirrors our SF set.
 
         A victim line whose back-invalidation landed in the LLC (reuse
@@ -144,12 +153,25 @@ class ParallelProbing(MonitorStrategy):
         attacker-local work; the scrub is excluded from detection.
         """
         ctx = self.ctx
+        if kernels is not None:
+            rows = self._rows
+            kernels.flush_rows(rows, len(rows))
+            kernels.load_sweep(rows, len(rows), shared=True)
+            return
         machine = ctx.machine
         machine.flush_batch(self._lines)
         machine.access_batch(ctx.main_core, self._lines, shadow_core=ctx.helper_core)
 
     def prime(self) -> int:
         ctx = self.ctx
+        kernels = self._kernels()
+        if kernels is not None:
+            rows = self._rows
+            elapsed = kernels.prime_probe_kernel(
+                rows, len(rows), prime_rounds=self.prime_rounds
+            )
+            self._record_prime(elapsed)
+            return elapsed
         machine = ctx.machine
         elapsed = 0
         for _ in range(self.prime_rounds):
@@ -165,17 +187,28 @@ class ParallelProbing(MonitorStrategy):
         # Its cost is not recorded in the prime/probe latency statistics.
         ctx = self.ctx
         machine = ctx.machine
+        kernels = self._kernels()
         self._probes_since_scrub += 1
         if self.llc_scrub_period and self._probes_since_scrub >= self.llc_scrub_period:
             self._probes_since_scrub = 0
-            self._llc_scrub()
-            for _ in range(self.prime_rounds):
-                machine.access_batch(
-                    ctx.main_core, self._lines, write=True, same_shared_set=True
+            self._llc_scrub(kernels)
+            if kernels is not None:
+                kernels.prime_probe_kernel(
+                    self._rows, len(self._rows), prime_rounds=self.prime_rounds
                 )
-        measured = machine.probe_batch(
-            ctx.main_core, self._lines, same_shared_set=True
-        )
+            else:
+                for _ in range(self.prime_rounds):
+                    machine.access_batch(
+                        ctx.main_core, self._lines, write=True, same_shared_set=True
+                    )
+        if kernels is not None:
+            measured = kernels.prime_probe_kernel(
+                self._rows, len(self._rows), probe=True
+            )
+        else:
+            measured = machine.probe_batch(
+                ctx.main_core, self._lines, same_shared_set=True
+            )
         self._record_probe(measured)
         return measured > self._detect_threshold
 
@@ -199,12 +232,18 @@ class PrimeScopeFlush(MonitorStrategy):
         ctx = self.ctx
         machine = ctx.machine
         lines = self._lines
+        kernels = self._kernels()
         start = machine.now
         for _ in range(self.MAX_PRIME_TRIES):
             # Load everything, flush everything, then reload sequentially so
             # the replacement order is exactly the reload order (EVC = vas[0]).
-            machine.access_batch(ctx.main_core, lines)
-            machine.flush_batch(lines)
+            if kernels is not None:
+                rows = self._rows
+                kernels.load_sweep(rows, len(rows))
+                kernels.flush_rows(rows, len(rows))
+            else:
+                machine.access_batch(ctx.main_core, lines)
+                machine.flush_batch(lines)
             machine.access_chase(ctx.main_core, lines)
             # Stability check doubling as the L1 warm touch: if the scope
             # line did not survive the pattern (a concurrent insertion

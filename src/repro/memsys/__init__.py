@@ -12,19 +12,24 @@ The public entry point is :class:`repro.memsys.machine.Machine`.
 from .address import AddressSpace, line_address, page_offset
 from .cache import SetAssociativeCache
 from .hierarchy import CacheHierarchy, Level, NOISE_OWNER
+from .kernels import AttackKernels, PlaneRows, TranslationPlane, kernels_disabled
 from .machine import Machine
 from .replacement import make_policy
 from .slice_hash import ComplexSliceHash, LinearSliceHash, make_slice_hash
 
 __all__ = [
     "AddressSpace",
+    "AttackKernels",
     "CacheHierarchy",
     "ComplexSliceHash",
     "Level",
     "LinearSliceHash",
     "Machine",
     "NOISE_OWNER",
+    "PlaneRows",
     "SetAssociativeCache",
+    "TranslationPlane",
+    "kernels_disabled",
     "line_address",
     "make_policy",
     "make_slice_hash",

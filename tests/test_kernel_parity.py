@@ -1,0 +1,227 @@
+"""Fused-kernel vs unfused-path parity (DESIGN.md §2.3).
+
+The fused attack kernels in :mod:`repro.memsys.kernels` promise
+*bit-identical* trials: every kernel consumes the hierarchy, noise,
+preemption, and jitter RNG streams in exactly the per-access order of the
+unfused Machine path, and advances the clock by the same amounts.  These
+suites hold them to it:
+
+* **Dynamic parity** — the same TestEviction batteries, monitor loops,
+  and eviction-set constructions run twice, fused and unfused
+  (``use_kernels=False`` / :func:`repro.memsys.kernels_disabled`), and
+  every observable must agree exactly: verdicts, hierarchy stats, the
+  simulated clock, noise event counts, and the full ``getstate()`` of
+  every RNG stream (so not just the same number of draws — the same
+  draws).
+* **Golden fingerprints** — sha256 digests of the fused runs, captured
+  from the unfused path.  They freeze trial behavior against drift in
+  *either* path: a kernel "optimization" that reorders RNG draws and a
+  Machine change that forgets the kernels both show up here.
+
+Everything here is fast-lane sized (small machine, tiny pools, short
+budgets) so CI runs it on every push.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.config import cloud_run_noise, no_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig
+from repro.core.evset.candidates import build_candidate_set
+from repro.core.evset.filtering import build_l2_eviction_set
+from repro.core.evset.primitives import EvictionTester
+from repro.core.evset.types import EvictionSet
+from repro.core.monitor import ParallelProbing, PrimeScopeFlush, monitor_set
+from repro.memsys import kernels_disabled
+from repro.memsys.kernels import KERNELS_ENABLED
+from repro.memsys.machine import Machine
+
+
+def _h(obj) -> str:
+    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
+
+
+def _rng_states(machine: Machine) -> dict:
+    """Digest of every RNG stream a kernel may consume.
+
+    ``getstate()`` equality is stronger than draw-count equality: two
+    paths that drew different values the same number of times diverge
+    here.
+    """
+    streams = {
+        "hierarchy": machine.hierarchy._rng,
+        "noise": machine.noise._rng,
+        "preempt": machine._preempt_rng,
+        "jitter": machine._jitter_rng,
+    }
+    return {name: _h(rng.getstate()) for name, rng in streams.items()}
+
+
+def _machine_digest(machine: Machine) -> dict:
+    return {
+        "now": machine.now,
+        "stats": machine.hierarchy.stats.as_dict(),
+        "noise_events": machine.noise.events,
+        "rng": _rng_states(machine),
+    }
+
+
+# --- TestEviction parity ----------------------------------------------------
+
+
+def _tester_battery(mode: str, noisy: bool, fused: bool) -> dict:
+    """One deterministic battery of test()/test_many() calls."""
+    noise = cloud_run_noise() if noisy else no_noise()
+    machine = Machine(skylake_sp_small(), noise=noise, seed=23)
+    ctx = AttackerContext(machine, seed=2)
+    ctx.calibrate()
+    cand = build_candidate_set(ctx, 0x140, size=40)
+    tester = EvictionTester(ctx, mode=mode, parallel=True, use_kernels=fused)
+    target, pool = cand.vas[0], cand.vas[1:]
+    verdicts = [tester.test(target, pool, n) for n in (39, 20, 10, 5)]
+    verdicts += tester.test_many(cand.vas[:4], cand.vas[4:], 24)
+    # A repeated traversal exercises the repeats loop inside the kernel.
+    deep = EvictionTester(ctx, mode=mode, parallel=True, repeats=2,
+                          use_kernels=fused)
+    verdicts.append(deep.test(target, pool, 16))
+    return {"verdicts": verdicts, **_machine_digest(machine)}
+
+
+@pytest.mark.parametrize("noisy", [False, True], ids=["quiet", "noisy"])
+@pytest.mark.parametrize("mode", ["llc", "sf", "l2"])
+class TestEvictionKernelParity:
+    def test_battery_bitwise_identical(self, mode, noisy):
+        fused = _tester_battery(mode, noisy, fused=True)
+        unfused = _tester_battery(mode, noisy, fused=False)
+        assert fused == unfused
+
+
+def test_kernels_enabled_by_default():
+    assert KERNELS_ENABLED
+
+
+def test_kernels_disabled_context_forces_unfused():
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    ctx = AttackerContext(machine, seed=1)
+    tester = EvictionTester(ctx, mode="l2")
+    with kernels_disabled():
+        assert tester._kernels() is None
+    assert tester._kernels() is not None
+
+
+def test_reference_cache_disengages_kernels():
+    """The seed oracle (and any duck-typed stand-in) must bypass kernels."""
+    import repro.memsys.hierarchy as hmod
+    from repro.memsys._reference import ReferenceSetAssociativeCache
+
+    original = hmod.SetAssociativeCache
+    hmod.SetAssociativeCache = ReferenceSetAssociativeCache
+    try:
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    finally:
+        hmod.SetAssociativeCache = original
+    ctx = AttackerContext(machine, seed=1)
+    assert not ctx.attack_kernels().engaged()
+    assert EvictionTester(ctx, mode="l2")._kernels() is None
+
+
+# --- Monitor parity ---------------------------------------------------------
+
+
+def _congruent_evset(ctx: AttackerContext, kind: str, n: int, offset: int = 0x2C0):
+    """Assemble an eviction set from known-congruent lines (no pruning)."""
+    machine = ctx.machine
+    target_va = ctx.alloc_pages(1)[0] + offset
+    tset = machine.hierarchy.shared_set_index(ctx.line(target_va))
+    vas = []
+    while len(vas) < n:
+        for page in ctx.alloc_pages(32):
+            va = page + offset
+            if machine.hierarchy.shared_set_index(ctx.line(va)) == tset:
+                vas.append(va)
+    return EvictionSet(kind=kind, vas=vas[:n], target_va=target_va), tset
+
+
+def _monitor_run(strategy_cls, fused: bool) -> dict:
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=31)
+    ctx = AttackerContext(machine, seed=3)
+    ctx.calibrate()
+    evset, tset = _congruent_evset(ctx, "sf", machine.cfg.sf.ways)
+    # A victim on another core hammers the monitored set.
+    space = machine.new_address_space()
+    while True:
+        line = space.translate_line(space.alloc_page() + 0x2C0)
+        if machine.hierarchy.shared_set_index(line) == tset:
+            break
+    interval = 20_000
+    for i in range(15):
+        machine.schedule(
+            machine.now + 3_000 + i * interval,
+            lambda t, line=line: machine.hierarchy.access(3, line, t, write=True),
+        )
+    import contextlib
+
+    guard = contextlib.nullcontext() if fused else kernels_disabled()
+    with guard:
+        trace = monitor_set(
+            strategy_cls(ctx, evset), duration_cycles=15 * interval + 30_000
+        )
+    return {
+        "trace": [trace.timestamps, trace.start, trace.end,
+                  trace.probe_latencies, trace.prime_latencies],
+        **_machine_digest(machine),
+    }
+
+
+@pytest.mark.parametrize(
+    "strategy_cls", [ParallelProbing, PrimeScopeFlush],
+    ids=["parallel", "prime-scope"],
+)
+def test_monitor_parity(strategy_cls):
+    assert _monitor_run(strategy_cls, True) == _monitor_run(strategy_cls, False)
+
+
+# --- Construction parity ----------------------------------------------------
+
+
+def _l2_construction(fused: bool) -> dict:
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=47)
+    ctx = AttackerContext(machine, seed=5)
+    ctx.calibrate()
+    target_va = ctx.alloc_pages(1)[0] + 0x180
+    guard = kernels_disabled() if not fused else None
+    if guard is None:
+        evset = build_l2_eviction_set(ctx, target_va,
+                                      EvsetConfig(budget_ms=50.0))
+    else:
+        with guard:
+            evset = build_l2_eviction_set(ctx, target_va,
+                                          EvsetConfig(budget_ms=50.0))
+    return {"vas": sorted(evset.vas), **_machine_digest(machine)}
+
+
+def test_l2_construction_parity():
+    assert _l2_construction(True) == _l2_construction(False)
+
+
+# --- Golden fingerprints (captured from the unfused path) -------------------
+
+GOLDEN_BATTERY_NOISY_SF = "20d53b2141cf92e4"
+GOLDEN_MONITOR_PARALLEL = "9b0e8bd69a10f584"
+GOLDEN_L2_CONSTRUCTION = "27d41eff975b2212"
+
+
+class TestGoldenFingerprints:
+    def test_battery(self):
+        assert _h(_tester_battery("sf", True, fused=True)) == GOLDEN_BATTERY_NOISY_SF
+
+    def test_monitor(self):
+        assert _h(_monitor_run(ParallelProbing, True)) == GOLDEN_MONITOR_PARALLEL
+
+    def test_construction(self):
+        assert _h(_l2_construction(True)) == GOLDEN_L2_CONSTRUCTION

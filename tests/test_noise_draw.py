@@ -1,0 +1,174 @@
+"""Properties of the ``BackgroundNoise._draw`` small-mean fast path.
+
+``_draw`` (and the copies of it inlined into ``reconcile`` and the fused
+kernels) replaces a Poisson draw with a single-uniform Bernoulli when
+``lam < 0.01``.  That substitution is only sound if
+
+1. it really costs exactly one uniform draw (the point of the fast path:
+   reconciliation runs on *every* access), and
+2. the distributional error is bounded by ``P(N >= 2) <= lam**2 / 2``,
+   which at the 0.01 threshold is at most 5e-5 per reconciliation —
+   negligible against the paper's noise rates.
+
+Above the threshold ``_draw`` must delegate to :func:`repro._util.poisson`
+draw-for-draw, so the two branches never diverge in RNG consumption for
+the same ``lam``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng, poisson
+from repro.cloud.noise import BackgroundNoise
+from repro.config import NoiseConfig
+
+
+class CountingRandom(random.Random):
+    """random.Random that counts primitive variate draws."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.uniform_draws = 0
+        self.gauss_draws = 0
+
+    def random(self):
+        self.uniform_draws += 1
+        return super().random()
+
+    def gauss(self, mu, sigma):
+        self.gauss_draws += 1
+        return super().gauss(mu, sigma)
+
+
+def _noise(rng=None) -> BackgroundNoise:
+    cfg = NoiseConfig(name="test", llc_accesses_per_ms_per_set=11.5)
+    return BackgroundNoise(cfg, 2.0, rng or make_rng(0))
+
+
+# --- Draw-count contract ----------------------------------------------------
+
+
+@given(lam=st.floats(min_value=1e-9, max_value=0.0099999), seed=st.integers(0, 2**20))
+@settings(max_examples=200, deadline=None)
+def test_small_mean_costs_exactly_one_uniform(lam, seed):
+    rng = CountingRandom(seed)
+    noise = _noise(rng)
+    n = noise._draw(rng, lam)
+    assert rng.uniform_draws == 1
+    assert rng.gauss_draws == 0
+    assert n in (0, 1)
+
+
+@given(lam=st.floats(min_value=0.01, max_value=64.0), seed=st.integers(0, 2**20))
+@settings(max_examples=100, deadline=None)
+def test_large_mean_matches_poisson_draw_for_draw(lam, seed):
+    noise = _noise()
+    a, b = random.Random(seed), random.Random(seed)
+    assert noise._draw(a, lam) == poisson(b, lam)
+    assert a.getstate() == b.getstate()
+
+
+def test_zero_mean_draws_nothing_from_poisson():
+    rng = CountingRandom(7)
+    assert poisson(rng, 0.0) == 0
+    assert rng.uniform_draws == 0
+
+
+# --- Distributional error bound ---------------------------------------------
+
+
+@given(lam=st.floats(min_value=1e-9, max_value=0.0099999))
+@settings(max_examples=200, deadline=None)
+def test_bernoulli_error_is_bounded_by_lam_squared_over_two(lam):
+    """Analytic check: the Bernoulli(lam) approximation differs from
+    Poisson(lam) only on the event ``N >= 2`` (plus the matching mass it
+    borrows from N in {0, 1}), and ``P(N >= 2) = 1 - e^-lam (1 + lam)``
+    is bounded by ``lam**2 / 2`` for every ``lam > 0``."""
+    # expm1 keeps the tiny-lam case exact; the naive 1 - e^-lam (1 + lam)
+    # cancels catastrophically below lam ~ 1e-8.
+    p_ge_2 = -math.expm1(-lam) - lam * math.exp(-lam)
+    # The bound holds exactly in the reals (the Taylor series alternates);
+    # a hair of relative slack absorbs double-rounding at tiny lam.
+    assert 0.0 <= p_ge_2 <= (lam * lam / 2.0) * (1.0 + 1e-6)
+    # Total-variation distance between Bernoulli(lam) and Poisson(lam):
+    # both P(0) and P(1) mismatches are themselves O(lam^2).
+    tv = 0.5 * (
+        abs(lam + math.expm1(-lam))  # |(1 - lam) - e^-lam|
+        + (-lam * math.expm1(-lam))  # lam (1 - e^-lam)
+        + p_ge_2
+    )
+    assert tv <= lam * lam * (1.0 + 1e-6)
+
+def test_empirical_means_agree_at_threshold_edge():
+    """Monte-Carlo sanity: just under the threshold the fast path's mean
+    matches the exact Poisson mean to within sampling error."""
+    lam = 0.009
+    trials = 200_000
+    noise = _noise()
+    fast = random.Random(123)
+    exact = random.Random(456)
+    mean_fast = sum(noise._draw(fast, lam) for _ in range(trials)) / trials
+    mean_exact = sum(poisson(exact, lam) for _ in range(trials)) / trials
+    # std error of the mean ~ sqrt(lam/trials) ~ 2.1e-4; allow 5 sigma.
+    assert abs(mean_fast - lam) < 1.1e-3
+    assert abs(mean_exact - lam) < 1.1e-3
+
+
+# --- reconcile() keeps the same contract ------------------------------------
+
+
+class _StubCache:
+    def __init__(self, ways):
+        self.ways = ways
+        self._clock = {}
+
+    def exchange_noise_clock(self, sidx, now):
+        prev = self._clock.get(sidx, 0)
+        self._clock[sidx] = now
+        return prev
+
+
+class _StubHier:
+    def __init__(self):
+        self.sf = _StubCache(12)
+        self.llc = _StubCache(16)
+        self.inserted = []
+
+    def noise_insert_sf(self, sidx):
+        self.inserted.append(("sf", sidx))
+
+    def noise_insert_llc(self, sidx):
+        self.inserted.append(("llc", sidx))
+
+
+def test_reconcile_small_window_draws_one_uniform_per_structure():
+    rng = CountingRandom(11)
+    noise = _noise(rng)
+    hier = _StubHier()
+    noise.reconcile(hier, 3, now=10)  # first visit: dt=10, lam tiny
+    assert rng.uniform_draws == 2  # one SF draw + one LLC draw
+    noise.reconcile(hier, 3, now=10)  # dt == 0: no draws at all
+    assert rng.uniform_draws == 2
+
+
+def test_reconcile_inline_fast_path_matches_draw():
+    """The Bernoulli branch inlined in reconcile() must stay in lockstep
+    with ``_draw`` for the same elapsed window."""
+    seed = 99
+    sidx, now = 5, 40  # small dt: both structures in the lam < 0.01 regime
+    noise_a = _noise(random.Random(seed))
+    hier = _StubHier()
+    noise_a.reconcile(hier, sidx, now)
+    rng_b = random.Random(seed)
+    noise_b = _noise(make_rng(1))
+    expected = 0
+    for rate, cache in ((noise_b._sf_rate, hier.sf), (noise_b._llc_rate, hier.llc)):
+        expected += noise_b._draw(rng_b, rate * now)
+    assert noise_a.events == expected
+    assert noise_a._rng.getstate() == rng_b.getstate()
