@@ -1,7 +1,7 @@
-"""Simulator throughput — reference cache vs. flat plane vs. fused kernels.
+"""Simulator throughput — reference vs. flat plane vs. kernels vs. lanes.
 
 Not a paper artifact: this benchmark tracks the performance of the
-simulator itself across its three generations of hot path:
+simulator itself across its four generations of hot path:
 
 * **reference** — the seed dict-of-sets cache preserved in
   :mod:`repro.memsys._reference`, swapped into the hierarchy, driven with
@@ -11,29 +11,35 @@ simulator itself across its three generations of hot path:
   the ``same_shared_set`` batched Machine APIs, fused kernels disabled
   (:func:`repro.memsys.kernels_disabled`);
 * **kernels** — the same flat plane driven through the fused attack
-  kernels and the translation plane (DESIGN.md §2.3), the default path.
+  kernels and the translation plane (DESIGN.md §2.3), lanes disabled
+  (:func:`repro.memsys.lanes_disabled`);
+* **lanes** — the plan-specialized lane kernels (DESIGN.md §2.4), the
+  default path when NumPy is available.
 
-All three run the same workloads and — because the kernels are
+All four run the same workloads and — because the kernels and lanes are
 bit-identical by construction — must produce the same eviction sets; the
-sanity asserts at the bottom enforce that, and the kernel-vs-batched
-check is the CI perf smoke for the kernel layer (the fused path must not
-regress below the batched one on the monitor loop).
+sanity asserts at the bottom enforce that.  Two perf smokes gate CI: the
+fused path must not regress below the batched one on the monitor loop,
+and the lane path must not regress below the plain kernels on
+constructions/sec.
 
 Workloads:
 
 * accesses/sec through the Prime+Probe monitor hot loop (prime + probe
   traversals of a ways-sized SF-congruent eviction set, interleaved
   best-of-N against host noise),
-* SF eviction-set constructions/sec (BinS with candidate filtering),
+* SF eviction-set constructions/sec (BinS with candidate filtering) —
+  the workload the lane plane targets (flush + post-flush sweeps),
 * one end-to-end trial (bulk construction + Parallel Probing monitor),
-* a cProfile breakdown (top-10 by cumulative time) of fused eviction-set
-  construction, so the next optimization round starts from data.
+* a cProfile breakdown (top-10 by cumulative time) of lane-path
+  eviction-set construction, so the next optimization round starts from
+  data.
 
 Results, speedups, the profile, and the data-plane counters
 (:func:`repro.analysis.dataplane_summary`) are written to
-``BENCH_perf.json``.  Apart from the kernel-vs-batched smoke check there
-is **no hard threshold gate** — shared CI runners are too noisy for one;
-cross-implementation speedups are tracked by inspection.
+``BENCH_perf.json``, along with an append-only ``history`` array (one
+entry per PR, stage name -> evsets/s, accesses/s, trial seconds) so the
+perf trajectory survives reruns instead of being overwritten.
 
 Run directly (``--quick`` shrinks every workload for CI smoke runs)::
 
@@ -66,12 +72,22 @@ from repro.core.evset import (
     construct_sf_evset,
 )
 from repro.core.monitor import ParallelProbing, monitor_set
-from repro.memsys import AttackKernels, TranslationPlane, kernels_disabled
+from repro.memsys import (
+    HAVE_NUMPY,
+    AttackKernels,
+    LaneKernels,
+    TranslationPlane,
+    kernels_disabled,
+    lanes_disabled,
+)
 from repro.memsys._reference import ReferenceSetAssociativeCache
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.machine import Machine
 
 PAGE_OFFSET = 0x2C0
+
+#: The four hot-path generations, oldest first.
+STAGES = ("reference", "batched", "kernels", "lanes")
 
 
 @contextmanager
@@ -87,9 +103,13 @@ def _cache_impl(cache_cls):
         hmod.SetAssociativeCache = original
 
 
-def _fused_guard(fused: bool):
-    """nullcontext for the default kernel path, kernels_disabled otherwise."""
-    return nullcontext() if fused else kernels_disabled()
+def _path_guard(path: str):
+    """Pin one hot-path generation for the duration of a workload."""
+    if path in ("reference", "batched"):
+        return kernels_disabled()
+    if path == "kernels":
+        return lanes_disabled()
+    return nullcontext()  # lanes: the default resolution
 
 
 # --- Monitor hot loop -------------------------------------------------------
@@ -149,18 +169,21 @@ def _accesses_round_kernels(machine, kernels, rows, reps: int) -> float:
 
 
 def _bench_accesses(quick: bool):
-    """Monitor-loop throughput, all three hot paths, interleaved best-of-N.
+    """Monitor-loop throughput, all four hot paths, interleaved best-of-N.
 
     Shared/burst-throttled hosts swing throughput by 2x over minutes;
     interleaving the implementations round-robin and taking each side's
-    best round keeps the ratios honest under that noise.
+    best round keeps the ratios honest under that noise.  The lane bundle
+    inherits the monitor kernels unchanged (resident-line walks have
+    nothing provably dead), so its column doubles as an overhead check.
     """
     rounds = 2 if quick else 4
     reps = 40 if quick else 300
     ref_machine, ref_evset = _accesses_setup(ReferenceSetAssociativeCache)
     flat_machine, flat_evset = _accesses_setup(SetAssociativeCache)
     kern_machine, kern_evset = _accesses_setup(SetAssociativeCache)
-    assert flat_evset == ref_evset == kern_evset, (
+    lane_machine, lane_evset = _accesses_setup(SetAssociativeCache)
+    assert flat_evset == ref_evset == kern_evset == lane_evset, (
         "parity violation: address maps differ"
     )
     # The monitor loop works on raw lines, so the plane's translate is the
@@ -169,42 +192,78 @@ def _bench_accesses(quick: bool):
     kernels = AttackKernels(kern_machine, plane)
     assert kernels.engaged()
     rows = plane.rows(kern_evset)
-    best_ref = best_flat = best_kern = 0.0
+    lane_plane = TranslationPlane(lane_machine.hierarchy, lambda line: line)
+    lanes = LaneKernels(lane_machine, lane_plane)
+    lane_rows = lane_plane.rows(lane_evset)
+    best = dict.fromkeys(STAGES, 0.0)
     for _ in range(rounds):
-        best_ref = max(best_ref, _accesses_round(ref_machine, ref_evset, False, reps))
-        best_flat = max(
-            best_flat, _accesses_round(flat_machine, flat_evset, True, reps)
+        best["reference"] = max(
+            best["reference"], _accesses_round(ref_machine, ref_evset, False, reps)
         )
-        best_kern = max(
-            best_kern, _accesses_round_kernels(kern_machine, kernels, rows, reps)
+        best["batched"] = max(
+            best["batched"], _accesses_round(flat_machine, flat_evset, True, reps)
         )
-    return best_ref, best_flat, best_kern, flat_machine
+        best["kernels"] = max(
+            best["kernels"],
+            _accesses_round_kernels(kern_machine, kernels, rows, reps),
+        )
+        best["lanes"] = max(
+            best["lanes"],
+            _accesses_round_kernels(lane_machine, lanes, lane_rows, reps),
+        )
+    return best, flat_machine
 
 
 # --- Construction workloads -------------------------------------------------
 
 
-def _bench_evsets(cache_cls, trials: int, fused: bool):
-    """SF eviction-set constructions/sec (BinS, filtered candidates)."""
-    with _cache_impl(cache_cls):
-        machine, ctx = make_env("cloud", seed=13)
-    with _fused_guard(fused):
-        cand = build_candidate_set(ctx, PAGE_OFFSET)
-        targets = [cand.vas.pop() for _ in range(trials)]
-        successes = 0
-        t0 = perf_counter()
-        for target in targets:
-            outcome = construct_sf_evset(ctx, "bins", target, list(cand.vas))
-            successes += bool(outcome.success)
-        elapsed = perf_counter() - t0
-    return trials / elapsed, successes, machine
+def _stage_cache_cls(stage: str):
+    return (
+        ReferenceSetAssociativeCache if stage == "reference"
+        else SetAssociativeCache
+    )
 
 
-def _bench_trial(cache_cls, budget_ms: int, fused: bool):
+def _bench_evsets(quick: bool):
+    """SF eviction-set constructions/sec (BinS, filtered candidates).
+
+    All four stages get their own deterministic environment (same seed,
+    so the same candidate pool and targets), and the trials run
+    *interleaved* round-robin across stages: on burst-throttled hosts a
+    sequential per-stage run can attribute a 30% host-wide slowdown to
+    whichever stage ran last, which is exactly the noise the lane-vs-
+    kernel perf gate must not be subject to.
+    """
+    trials = 2 if quick else 6
+    envs = {}
+    for stage in STAGES:
+        with _cache_impl(_stage_cache_cls(stage)):
+            machine, ctx = make_env("cloud", seed=13)
+        with _path_guard(stage):
+            cand = build_candidate_set(ctx, PAGE_OFFSET)
+            targets = [cand.vas.pop() for _ in range(trials)]
+        envs[stage] = [ctx, cand, targets, 0.0, 0]  # elapsed_s, successes
+    for i in range(trials):
+        for stage in STAGES:
+            env = envs[stage]
+            ctx, cand, targets = env[0], env[1], env[2]
+            with _path_guard(stage):
+                t0 = perf_counter()
+                outcome = construct_sf_evset(
+                    ctx, "bins", targets[i], list(cand.vas)
+                )
+                env[3] += perf_counter() - t0
+            env[4] += bool(outcome.success)
+    return {
+        stage: (trials / env[3], env[4]) for stage, env in envs.items()
+    }
+
+
+def _bench_trial(cache_cls, budget_ms: int, path: str):
     """One end-to-end trial: bulk construction + a monitoring window."""
     with _cache_impl(cache_cls):
         machine, ctx = make_env("cloud", seed=7)
-    with _fused_guard(fused):
+    with _path_guard(path):
         t0 = perf_counter()
         bulk = bulk_construct_page_offset(
             ctx, "bins", PAGE_OFFSET, EvsetConfig(budget_ms=budget_ms)
@@ -217,11 +276,12 @@ def _bench_trial(cache_cls, budget_ms: int, fused: bool):
     return elapsed, len(bulk.evsets), machine
 
 
-def _measure(cache_cls, quick: bool, fused: bool):
-    trials = 2 if quick else 6
+def _measure(quick: bool, path: str, ev_results):
     budget_ms = 20 if quick else 100
-    ev_rate, successes, _ = _bench_evsets(cache_cls, trials, fused)
-    trial_s, n_evsets, trial_machine = _bench_trial(cache_cls, budget_ms, fused)
+    ev_rate, successes = ev_results[path]
+    trial_s, n_evsets, trial_machine = _bench_trial(
+        _stage_cache_cls(path), budget_ms, path
+    )
     return {
         "evsets_per_sec": ev_rate,
         "evset_successes": successes,
@@ -234,10 +294,12 @@ def _measure(cache_cls, quick: bool, fused: bool):
 
 
 def _profile_construction(quick: bool):
-    """cProfile top-10 (cumulative) of fused eviction-set construction.
+    """cProfile top-10 (cumulative) of lane-path eviction-set construction.
 
-    The Amdahl accounting that motivated the kernel layer: after each
-    optimization round, the next bottleneck is whatever tops this list.
+    The Amdahl accounting that motivated the kernel and lane layers:
+    after each optimization round, the next bottleneck is whatever tops
+    this list.  Profiles the default resolution — the lane plane when
+    NumPy is available, the plain kernels otherwise.
     """
     with _cache_impl(SetAssociativeCache):
         machine, ctx = make_env("cloud", seed=13)
@@ -266,7 +328,51 @@ def _profile_construction(quick: bool):
         )
         if len(rows) == 10:
             break
-    return {"total_time_s": round(total, 4), "top10_cumulative": rows}
+    return {
+        "path": "lanes" if HAVE_NUMPY else "kernels",
+        "total_time_s": round(total, 4),
+        "top10_cumulative": rows,
+    }
+
+
+# --- History ----------------------------------------------------------------
+
+
+def _load_history(out_path: str) -> list:
+    """The append-only per-PR perf trajectory from a previous run.
+
+    Older payloads predate the ``history`` array; their stored stage
+    metrics are backfilled as the PR that introduced each stage, so the
+    trajectory starts complete.
+    """
+    try:
+        old = json.loads(Path(out_path).read_text())
+    except (OSError, ValueError):
+        return []
+    history = old.get("history")
+    if history:
+        return list(history)
+    keys = ("evsets_per_sec", "accesses_per_sec", "trial_seconds")
+
+    def stage(metrics):
+        return {k: metrics[k] for k in keys if k in metrics}
+
+    backfill = []
+    if "before" in old and "after" in old:
+        backfill.append(
+            {
+                "pr": "PR 2",
+                "stages": {
+                    "reference": stage(old["before"]),
+                    "batched": stage(old["after"]),
+                },
+            }
+        )
+    if "kernels" in old:
+        backfill.append(
+            {"pr": "PR 3", "stages": {"kernels": stage(old["kernels"])}}
+        )
+    return backfill
 
 
 # --- Driver -----------------------------------------------------------------
@@ -274,52 +380,61 @@ def _profile_construction(quick: bool):
 
 def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
     print_header(
-        "Simulator throughput: reference cache vs. flat plane vs. fused kernels",
-        "Infrastructure benchmark (DESIGN.md 2.2, 2.3), not a paper artifact.",
+        "Simulator throughput: reference vs. flat plane vs. kernels vs. lanes",
+        "Infrastructure benchmark (DESIGN.md 2.2-2.4), not a paper artifact.",
     )
-    ref_acc, flat_acc, kern_acc, acc_machine = _bench_accesses(quick)
-    before, _ = _measure(ReferenceSetAssociativeCache, quick, fused=False)
-    after, _ = _measure(SetAssociativeCache, quick, fused=False)
-    kernels, trial_machine = _measure(SetAssociativeCache, quick, fused=True)
-    before["accesses_per_sec"] = ref_acc
-    after["accesses_per_sec"] = flat_acc
-    kernels["accesses_per_sec"] = kern_acc
+    best_acc, acc_machine = _bench_accesses(quick)
+    ev_results = _bench_evsets(quick)
+    results = {}
+    trial_machine = None
+    for stage in STAGES:
+        results[stage], machine = _measure(quick, stage, ev_results)
+        results[stage]["accesses_per_sec"] = best_acc[stage]
+        if stage == "lanes":
+            trial_machine = machine
+    before = results["reference"]
+    after = results["batched"]
+    kernels = results["kernels"]
+    lanes = results["lanes"]
 
-    speedup = {
-        "accesses_per_sec": after["accesses_per_sec"] / before["accesses_per_sec"],
-        "evsets_per_sec": after["evsets_per_sec"] / before["evsets_per_sec"],
-        "trial_seconds": before["trial_seconds"] / after["trial_seconds"],
-    }
-    kernel_speedup = {
-        "accesses_per_sec": kernels["accesses_per_sec"] / after["accesses_per_sec"],
-        "evsets_per_sec": kernels["evsets_per_sec"] / after["evsets_per_sec"],
-        "trial_seconds": after["trial_seconds"] / kernels["trial_seconds"],
-    }
+    def ratio(new, old):
+        return {
+            "accesses_per_sec": new["accesses_per_sec"] / old["accesses_per_sec"],
+            "evsets_per_sec": new["evsets_per_sec"] / old["evsets_per_sec"],
+            "trial_seconds": old["trial_seconds"] / new["trial_seconds"],
+        }
+
+    speedup = ratio(after, before)
+    kernel_speedup = ratio(kernels, after)
+    lane_speedup = ratio(lanes, kernels)
 
     table = Table(
         "Simulator throughput (same host, same workloads)",
-        ["Metric", "Reference (seed)", "Flat plane", "Kernels", "Kern/Flat"],
+        ["Metric", "Reference", "Flat plane", "Kernels", "Lanes", "Lane/Kern"],
     )
     table.add_row(
         "accesses/sec",
         f"{before['accesses_per_sec']:,.0f}",
         f"{after['accesses_per_sec']:,.0f}",
         f"{kernels['accesses_per_sec']:,.0f}",
-        f"{kernel_speedup['accesses_per_sec']:.2f}x",
+        f"{lanes['accesses_per_sec']:,.0f}",
+        f"{lane_speedup['accesses_per_sec']:.2f}x",
     )
     table.add_row(
         "evset constructions/sec",
         f"{before['evsets_per_sec']:.2f}",
         f"{after['evsets_per_sec']:.2f}",
         f"{kernels['evsets_per_sec']:.2f}",
-        f"{kernel_speedup['evsets_per_sec']:.2f}x",
+        f"{lanes['evsets_per_sec']:.2f}",
+        f"{lane_speedup['evsets_per_sec']:.2f}x",
     )
     table.add_row(
         "end-to-end trial (s)",
         f"{before['trial_seconds']:.2f}",
         f"{after['trial_seconds']:.2f}",
         f"{kernels['trial_seconds']:.2f}",
-        f"{kernel_speedup['trial_seconds']:.2f}x",
+        f"{lanes['trial_seconds']:.2f}",
+        f"{lane_speedup['trial_seconds']:.2f}x",
     )
     table.print()
 
@@ -328,42 +443,75 @@ def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
         "access_workload": dataplane_summary(acc_machine),
         "trial_workload": dataplane_summary(trial_machine),
     }
+    keys = ("evsets_per_sec", "accesses_per_sec", "trial_seconds")
+    history = _load_history(out_path)
+    # A --quick smoke run must never displace a full-run entry: CI runs
+    # quick mode on every push, while full numbers come from deliberate
+    # local runs.  Quick entries only fill the slot when nothing better
+    # exists; full runs always replace whatever is there for this PR.
+    prior = [e for e in history if e.get("pr") == "PR 4"]
+    keep_prior = quick and any(not e.get("quick") for e in prior)
+    if not keep_prior:
+        history = [e for e in history if e.get("pr") != "PR 4"]
+        history.append(
+            {
+                "pr": "PR 4",
+                "quick": quick,
+                "stages": {
+                    s: {k: results[s][k] for k in keys} for s in STAGES
+                },
+            }
+        )
     payload = {
         "quick": quick,
         "before": before,
         "after": after,
         "kernels": kernels,
+        "lanes": lanes,
         "speedup": speedup,
         "kernel_speedup": kernel_speedup,
+        "lane_speedup": lane_speedup,
         "profile": profile,
         "dataplane": dataplane,
+        "history": history,
     }
     Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nWrote {out_path}")
 
     # Sanity checks.  Cross-implementation speedups carry no threshold
-    # (CI runners are too noisy), but all three paths must agree on every
-    # *outcome* — the kernels are bit-identical by contract.
-    for metrics in (before, after, kernels):
+    # (CI runners are too noisy), but all four paths must agree on every
+    # *outcome* — the kernels and lanes are bit-identical by contract.
+    for metrics in results.values():
         assert metrics["accesses_per_sec"] > 0
         assert math.isfinite(metrics["trial_seconds"])
-    assert after["evset_successes"] == before["evset_successes"] == kernels[
-        "evset_successes"
-    ], "parity violation: the three paths must construct the same eviction sets"
-    assert after["trial_evsets"] == before["trial_evsets"] == kernels["trial_evsets"]
+    succ = {m["evset_successes"] for m in results.values()}
+    assert len(succ) == 1, (
+        "parity violation: the four paths must construct the same eviction sets"
+    )
+    assert len({m["trial_evsets"] for m in results.values()}) == 1
     # Kernel perf smoke: with interleaved best-of-N the fused monitor loop
     # must not fall behind the batched one (0.9 absorbs residual jitter).
-    assert kern_acc >= 0.9 * flat_acc, (
+    assert kernels["accesses_per_sec"] >= 0.9 * after["accesses_per_sec"], (
         f"fused kernels slower than batched path on the monitor loop: "
-        f"{kern_acc:,.0f} vs {flat_acc:,.0f} accesses/sec"
+        f"{kernels['accesses_per_sec']:,.0f} vs "
+        f"{after['accesses_per_sec']:,.0f} accesses/sec"
     )
+    # Lane perf smoke: the specialized sweeps must not fall behind the
+    # plain kernels on the construction workload they target.
+    if HAVE_NUMPY:
+        assert lanes["evsets_per_sec"] >= 1.0 * kernels["evsets_per_sec"], (
+            f"lane plane slower than plain kernels on constructions: "
+            f"{lanes['evsets_per_sec']:.2f} vs "
+            f"{kernels['evsets_per_sec']:.2f} evsets/sec"
+        )
     return {
         "accesses_speedup": speedup["accesses_per_sec"],
         "evsets_speedup": speedup["evsets_per_sec"],
         "trial_speedup": speedup["trial_seconds"],
-        "kernel_accesses_speedup": kernel_speedup["accesses_per_sec"],
         "kernel_evsets_speedup": kernel_speedup["evsets_per_sec"],
-        "kernel_accesses_per_sec": kernels["accesses_per_sec"],
+        "lane_evsets_speedup": lane_speedup["evsets_per_sec"],
+        "lane_trial_speedup": lane_speedup["trial_seconds"],
+        "lane_evsets_per_sec": lanes["evsets_per_sec"],
     }
 
 

@@ -31,12 +31,24 @@ def spawn_rng(rng: random.Random, tag: str) -> random.Random:
     return random.Random(f"{rng.getrandbits(64)}:{tag}")
 
 
+#: ``exp(-lam)`` memo for :func:`poisson`.  Noise reconciliation calls it
+#: hundreds of thousands of times per trial with rates that are fixed per
+#: config and elapsed windows that are sums of quantized latencies, so the
+#: distinct-``lam`` population is small; bounded by a wholesale clear so a
+#: pathological caller cannot grow it without limit.
+_EXP_NEG: dict = {}
+_EXP_NEG_CAP = 4096
+
+
 def poisson(rng: random.Random, lam: float) -> int:
     """Draw from a Poisson distribution with mean ``lam``.
 
     Uses Knuth's multiplication method for small means and a normal
     approximation for large ones (lam > 64), which is more than accurate
-    enough for background-noise event counts.
+    enough for background-noise event counts.  The inversion threshold
+    ``exp(-lam)`` is memoized per distinct rate; the draw sequence itself
+    is untouched, so the RNG stream is consumed draw-for-draw identically
+    (pinned by ``tests/test_noise_draw.py``).
     """
     if lam <= 0.0:
         return 0
@@ -44,7 +56,11 @@ def poisson(rng: random.Random, lam: float) -> int:
         # Normal approximation with continuity correction.
         value = rng.gauss(lam, math.sqrt(lam))
         return max(0, int(round(value)))
-    threshold = math.exp(-lam)
+    threshold = _EXP_NEG.get(lam)
+    if threshold is None:
+        if len(_EXP_NEG) >= _EXP_NEG_CAP:
+            _EXP_NEG.clear()
+        _EXP_NEG[lam] = threshold = math.exp(-lam)
     k = 0
     p = 1.0
     while True:

@@ -17,6 +17,7 @@ from .._util import make_rng, median, spawn_rng
 from ..config import LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from ..errors import ConfigurationError
 from ..memsys.kernels import AttackKernels, PlaneRows, TranslationPlane
+from ..memsys.lanes import LaneKernels
 from ..memsys.machine import Machine
 
 
@@ -52,6 +53,7 @@ class AttackerContext:
         self._lines_memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._plane = TranslationPlane(machine.hierarchy, self.line)
         self._kernels: Optional[AttackKernels] = None
+        self._lane_kernels: Optional[LaneKernels] = None
         self._pool: List[int] = []  # unused mapped pages
         # Thresholds start from the architectural defaults; calibrate()
         # replaces them with measured values.
@@ -119,11 +121,22 @@ class AttackerContext:
             )
         return kernels
 
+    def lane_kernels(self) -> LaneKernels:
+        """The lane-specialized kernel bundle (lazy singleton)."""
+        kernels = self._lane_kernels
+        if kernels is None:
+            kernels = self._lane_kernels = LaneKernels(
+                self.machine, self._plane, self.main_core, self.helper_core
+            )
+        return kernels
+
     def invalidate_translations(self) -> None:
         """Drop all cached VA->line/geometry state (address-space change)."""
         self._lines.clear()
         self._lines_memo.clear()
         self._plane.invalidate()
+        if self._lane_kernels is not None:
+            self._lane_kernels.invalidate_plans()
 
     # -- Ground-truth inspection (experiment harness only, not attack logic) ----
 

@@ -28,6 +28,7 @@ from typing import List, Optional
 from .._util import mean, stddev
 from ..errors import ConfigurationError
 from ..memsys import kernels as kernelmod
+from ..memsys import lanes as lanesmod
 from .context import AttackerContext
 from .evset.types import EvictionSet
 from .traces import AccessTrace
@@ -56,9 +57,17 @@ class MonitorStrategy:
         self.probe_latencies: List[int] = []
 
     def _kernels(self):
-        """The engaged kernel bundle, or None for the unfused path."""
+        """The engaged kernel bundle, or None for the unfused path.
+
+        Prefers the lane-specialized bundle when NumPy is available and
+        lanes are enabled; otherwise the plain PR-3 kernels.
+        """
         if not kernelmod.KERNELS_ENABLED:
             return None
+        if lanesmod.LANES_ENABLED and lanesmod.HAVE_NUMPY:
+            lanes = self.ctx.lane_kernels()
+            if lanes.engaged():
+                return lanes
         kernels = self.ctx.attack_kernels()
         return kernels if kernels.engaged() else None
 

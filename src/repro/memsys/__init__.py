@@ -13,6 +13,7 @@ from .address import AddressSpace, line_address, page_offset
 from .cache import SetAssociativeCache
 from .hierarchy import CacheHierarchy, Level, NOISE_OWNER
 from .kernels import AttackKernels, PlaneRows, TranslationPlane, kernels_disabled
+from .lanes import HAVE_NUMPY, LaneKernels, lanes_disabled
 from .machine import Machine
 from .replacement import make_policy
 from .slice_hash import ComplexSliceHash, LinearSliceHash, make_slice_hash
@@ -22,6 +23,8 @@ __all__ = [
     "AttackKernels",
     "CacheHierarchy",
     "ComplexSliceHash",
+    "HAVE_NUMPY",
+    "LaneKernels",
     "Level",
     "LinearSliceHash",
     "Machine",
@@ -30,6 +33,7 @@ __all__ = [
     "SetAssociativeCache",
     "TranslationPlane",
     "kernels_disabled",
+    "lanes_disabled",
     "line_address",
     "make_policy",
     "make_slice_hash",

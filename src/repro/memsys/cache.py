@@ -262,12 +262,15 @@ class SetAssociativeCache:
         return evicted
 
     def remove(self, set_idx: int, tag: int) -> bool:
-        """Invalidate ``tag`` if present; returns whether it was."""
-        key = tag * self.n_sets + set_idx
-        slot = self._where.get(key)
+        """Invalidate ``tag`` if present; returns whether it was.
+
+        One ``dict.pop`` replaces the probe-then-delete pair (the common
+        flush path calls this hundreds of thousands of times per trial);
+        every other effect is a single flat-plane write.
+        """
+        slot = self._where.pop(tag * self.n_sets + set_idx, None)
         if slot is None:
             return False
-        del self._where[key]
         self._tags[slot] = None
         self._owners[slot] = 0
         self._occ[set_idx] -= 1

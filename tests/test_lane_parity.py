@@ -1,0 +1,282 @@
+"""Three-way lane parity: reference/unfused -> kernels -> lanes (DESIGN.md §2.4).
+
+:mod:`repro.memsys.lanes` promises that the plan-specialized sweeps are
+bit-identical to the PR-3 kernels, which are themselves pinned
+bit-identical to the unfused Machine path (``tests/test_kernel_parity.py``,
+with ``repro.memsys._reference`` as the oracle underneath).  These suites
+run the same deterministic batteries down all three paths and require
+exact agreement on every observable: verdicts, hierarchy stats, the
+simulated clock, noise event counts, and the full ``getstate()`` of every
+RNG stream.
+
+The golden fingerprints are *the same values* as in
+``tests/test_kernel_parity.py`` — captured from the unfused path before
+the lanes existed.  The lane path reproducing them is the point: the
+whole oracle chain collapses to one digest.
+
+The fallback matrix (NumPy absent, :func:`lanes_disabled`, duck-typed
+caches) is covered at the resolution layer: call sites must quietly land
+on the plain kernels.  CI runs this file twice — once normally and once
+with ``REPRO_NO_NUMPY=1`` — so the without-NumPy leg is exercised for
+real, not just via monkeypatching.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+
+import pytest
+
+from repro.config import cloud_run_noise, no_noise, skylake_sp_small
+from repro.core.context import AttackerContext
+from repro.core.evset import EvsetConfig
+from repro.core.evset.candidates import build_candidate_set
+from repro.core.evset.filtering import build_l2_eviction_set
+from repro.core.evset.primitives import EvictionTester
+from repro.core.evset.types import EvictionSet
+from repro.core.monitor import ParallelProbing, PrimeScopeFlush, monitor_set
+from repro.memsys import kernels_disabled, lanes_disabled
+from repro.memsys import lanes as lanesmod
+from repro.memsys.kernels import AttackKernels
+from repro.memsys.lanes import LaneKernels
+from repro.memsys.machine import Machine
+
+
+def _h(obj) -> str:
+    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
+
+
+def _rng_states(machine: Machine) -> dict:
+    streams = {
+        "hierarchy": machine.hierarchy._rng,
+        "noise": machine.noise._rng,
+        "preempt": machine._preempt_rng,
+        "jitter": machine._jitter_rng,
+    }
+    return {name: _h(rng.getstate()) for name, rng in streams.items()}
+
+
+def _machine_digest(machine: Machine) -> dict:
+    return {
+        "now": machine.now,
+        "stats": machine.hierarchy.stats.as_dict(),
+        "noise_events": machine.noise.events,
+        "rng": _rng_states(machine),
+    }
+
+
+def _path_guard(path: str):
+    """unfused -> no kernels at all; kernels -> PR-3 kernels only;
+    lanes -> the default resolution (LaneKernels when NumPy is there)."""
+    if path == "kernels":
+        return lanes_disabled()
+    return contextlib.nullcontext()
+
+
+PATHS = ["unfused", "kernels", "lanes"]
+
+
+# --- TestEviction parity ----------------------------------------------------
+
+
+def _tester_battery(mode: str, noisy: bool, path: str) -> dict:
+    """The ``test_kernel_parity`` battery, routed down one of the paths."""
+    fused = path != "unfused"
+    noise = cloud_run_noise() if noisy else no_noise()
+    machine = Machine(skylake_sp_small(), noise=noise, seed=23)
+    ctx = AttackerContext(machine, seed=2)
+    with _path_guard(path):
+        ctx.calibrate()
+        cand = build_candidate_set(ctx, 0x140, size=40)
+        tester = EvictionTester(ctx, mode=mode, parallel=True, use_kernels=fused)
+        target, pool = cand.vas[0], cand.vas[1:]
+        verdicts = [tester.test(target, pool, n) for n in (39, 20, 10, 5)]
+        verdicts += tester.test_many(cand.vas[:4], cand.vas[4:], 24)
+        deep = EvictionTester(ctx, mode=mode, parallel=True, repeats=2,
+                              use_kernels=fused)
+        verdicts.append(deep.test(target, pool, 16))
+    return {"verdicts": verdicts, **_machine_digest(machine)}
+
+
+@pytest.mark.parametrize("noisy", [False, True], ids=["quiet", "noisy"])
+@pytest.mark.parametrize("mode", ["llc", "sf", "l2"])
+class TestLaneThreeWayParity:
+    def test_battery_bitwise_identical(self, mode, noisy):
+        runs = {path: _tester_battery(mode, noisy, path) for path in PATHS}
+        assert runs["lanes"] == runs["kernels"]
+        assert runs["kernels"] == runs["unfused"]
+
+
+# --- Monitor parity ---------------------------------------------------------
+
+
+def _congruent_evset(ctx: AttackerContext, kind: str, n: int, offset: int = 0x2C0):
+    machine = ctx.machine
+    target_va = ctx.alloc_pages(1)[0] + offset
+    tset = machine.hierarchy.shared_set_index(ctx.line(target_va))
+    vas = []
+    while len(vas) < n:
+        for page in ctx.alloc_pages(32):
+            va = page + offset
+            if machine.hierarchy.shared_set_index(ctx.line(va)) == tset:
+                vas.append(va)
+    return EvictionSet(kind=kind, vas=vas[:n], target_va=target_va), tset
+
+
+def _monitor_run(strategy_cls, path: str) -> dict:
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=31)
+    ctx = AttackerContext(machine, seed=3)
+    guard = kernels_disabled() if path == "unfused" else _path_guard(path)
+    with guard:
+        ctx.calibrate()
+        evset, tset = _congruent_evset(ctx, "sf", machine.cfg.sf.ways)
+        space = machine.new_address_space()
+        while True:
+            line = space.translate_line(space.alloc_page() + 0x2C0)
+            if machine.hierarchy.shared_set_index(line) == tset:
+                break
+        interval = 20_000
+        for i in range(15):
+            machine.schedule(
+                machine.now + 3_000 + i * interval,
+                lambda t, line=line: machine.hierarchy.access(
+                    3, line, t, write=True),
+            )
+        trace = monitor_set(
+            strategy_cls(ctx, evset), duration_cycles=15 * interval + 30_000
+        )
+    return {
+        "trace": [trace.timestamps, trace.start, trace.end,
+                  trace.probe_latencies, trace.prime_latencies],
+        **_machine_digest(machine),
+    }
+
+
+@pytest.mark.parametrize(
+    "strategy_cls", [ParallelProbing, PrimeScopeFlush],
+    ids=["parallel", "prime-scope"],
+)
+def test_monitor_three_way_parity(strategy_cls):
+    runs = {path: _monitor_run(strategy_cls, path) for path in PATHS}
+    assert runs["lanes"] == runs["kernels"]
+    assert runs["kernels"] == runs["unfused"]
+
+
+# --- Construction parity ----------------------------------------------------
+
+
+def _l2_construction(path: str) -> dict:
+    machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=47)
+    ctx = AttackerContext(machine, seed=5)
+    guard = kernels_disabled() if path == "unfused" else _path_guard(path)
+    with guard:
+        ctx.calibrate()
+        target_va = ctx.alloc_pages(1)[0] + 0x180
+        evset = build_l2_eviction_set(ctx, target_va, EvsetConfig(budget_ms=50.0))
+    return {"vas": sorted(evset.vas), **_machine_digest(machine)}
+
+
+def test_l2_construction_three_way_parity():
+    runs = {path: _l2_construction(path) for path in PATHS}
+    assert runs["lanes"] == runs["kernels"]
+    assert runs["kernels"] == runs["unfused"]
+
+
+# --- Golden fingerprints ----------------------------------------------------
+# Same values as tests/test_kernel_parity.py (captured from the unfused
+# path): the lane path must reproduce them exactly.
+
+GOLDEN_BATTERY_NOISY_SF = "20d53b2141cf92e4"
+GOLDEN_MONITOR_PARALLEL = "9b0e8bd69a10f584"
+GOLDEN_L2_CONSTRUCTION = "27d41eff975b2212"
+
+
+class TestGoldenFingerprints:
+    def test_battery_lanes(self):
+        assert _h(_tester_battery("sf", True, "lanes")) == GOLDEN_BATTERY_NOISY_SF
+
+    def test_battery_kernels(self):
+        assert _h(_tester_battery("sf", True, "kernels")) == GOLDEN_BATTERY_NOISY_SF
+
+    def test_monitor_lanes(self):
+        assert _h(_monitor_run(ParallelProbing, "lanes")) == GOLDEN_MONITOR_PARALLEL
+
+    def test_construction_lanes(self):
+        assert _h(_l2_construction("lanes")) == GOLDEN_L2_CONSTRUCTION
+
+
+# --- Fallback matrix --------------------------------------------------------
+
+
+def test_lanes_enabled_by_default():
+    assert lanesmod.LANES_ENABLED
+
+
+def test_lanes_disabled_falls_back_to_plain_kernels():
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    ctx = AttackerContext(machine, seed=1)
+    tester = EvictionTester(ctx, mode="l2")
+    with lanes_disabled():
+        k = tester._kernels()
+        assert k is not None and type(k) is AttackKernels
+    if lanesmod.HAVE_NUMPY:
+        assert type(tester._kernels()) is LaneKernels
+
+
+def test_numpy_absent_falls_back_to_plain_kernels(monkeypatch):
+    monkeypatch.setattr(lanesmod, "HAVE_NUMPY", False)
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    ctx = AttackerContext(machine, seed=1)
+    tester = EvictionTester(ctx, mode="l2")
+    k = tester._kernels()
+    assert k is not None and type(k) is AttackKernels
+    assert not ctx.lane_kernels().engaged()
+
+
+def test_no_numpy_resolution_without_numpy():
+    """With NumPy genuinely absent (REPRO_NO_NUMPY leg) the resolution
+    must never hand out a LaneKernels."""
+    if lanesmod.HAVE_NUMPY:
+        pytest.skip("NumPy available; the CI REPRO_NO_NUMPY step covers this")
+    machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    ctx = AttackerContext(machine, seed=1)
+    assert type(EvictionTester(ctx, mode="l2")._kernels()) is AttackKernels
+
+
+def test_reference_cache_disengages_lanes():
+    import repro.memsys.hierarchy as hmod
+    from repro.memsys._reference import ReferenceSetAssociativeCache
+
+    original = hmod.SetAssociativeCache
+    hmod.SetAssociativeCache = ReferenceSetAssociativeCache
+    try:
+        machine = Machine(skylake_sp_small(), noise=no_noise(), seed=4)
+    finally:
+        hmod.SetAssociativeCache = original
+    ctx = AttackerContext(machine, seed=1)
+    assert not ctx.lane_kernels().engaged()
+    assert EvictionTester(ctx, mode="l2")._kernels() is None
+
+
+def test_lane_traverse_matches_kernels_when_not_specializable():
+    """Duplicate lines in the tuple must fall back (plan is None) and
+    still produce bit-identical results."""
+    if not lanesmod.HAVE_NUMPY:
+        pytest.skip("lanes need NumPy")
+
+    def run(fused_lanes: bool) -> dict:
+        machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=9)
+        ctx = AttackerContext(machine, seed=6)
+        ctx.calibrate()
+        cand = build_candidate_set(ctx, 0x100, size=12)
+        vas = list(cand.vas) + [cand.vas[0]]  # duplicate line
+        rows = ctx.rows(vas)
+        kern = ctx.lane_kernels() if fused_lanes else ctx.attack_kernels()
+        assert kern.engaged()
+        kern.traverse_kernel("llc", rows, len(vas), 1)
+        kern.traverse_kernel("sf", rows, len(vas), 1)
+        return _machine_digest(machine)
+
+    assert run(True) == run(False)

@@ -120,6 +120,43 @@ def test_empirical_means_agree_at_threshold_edge():
     assert abs(mean_exact - lam) < 1.1e-3
 
 
+# --- exp(-lam) memoization keeps draw-for-draw parity ------------------------
+
+
+@given(
+    lam=st.floats(min_value=1e-6, max_value=64.0),
+    seed=st.integers(0, 2**20),
+)
+@settings(max_examples=200, deadline=None)
+def test_exp_memo_keeps_rng_stream_identical(lam, seed):
+    """The memoized inversion threshold must change nothing about the
+    draw sequence: cold-cache and warm-cache calls consume the RNG
+    identically and return the same variate."""
+    from repro import _util
+
+    _util._EXP_NEG.clear()
+    cold_rng = random.Random(seed)
+    cold = poisson(cold_rng, lam)
+    assert lam in _util._EXP_NEG  # first call populated the memo
+    warm_rng = random.Random(seed)
+    warm = poisson(warm_rng, lam)
+    assert cold == warm
+    assert cold_rng.getstate() == warm_rng.getstate()
+    # The cached threshold is bit-equal to a fresh computation.
+    assert _util._EXP_NEG[lam] == math.exp(-lam)
+
+
+def test_exp_memo_cap_clears_wholesale():
+    from repro import _util
+
+    _util._EXP_NEG.clear()
+    for i in range(_util._EXP_NEG_CAP):
+        _util._EXP_NEG[1.0 + i * 1e-9] = 0.5
+    poisson(random.Random(3), 2.5)  # at cap: clears, then repopulates
+    assert len(_util._EXP_NEG) == 1
+    assert 2.5 in _util._EXP_NEG
+
+
 # --- reconcile() keeps the same contract ------------------------------------
 
 
