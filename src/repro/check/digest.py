@@ -1,0 +1,78 @@
+"""Canonical machine-state digests and the recursive diff used as oracle.
+
+The parity suites (``tests/test_dataplane_parity.py``,
+``tests/test_kernel_parity.py``, ``tests/test_lane_parity.py``) and the
+differential fuzzer all collapse a machine's observable state to the same
+dict — simulated clock, hierarchy stats, noise event count, and a hash of
+every RNG stream's full ``getstate()`` — so a single digest comparison
+covers everything a trial can depend on.
+
+The dict shape here is load-bearing: the golden fingerprints pinned in the
+parity suites are SHA-256 digests of exactly this structure.  Do not add,
+rename, or reorder fields without recapturing the goldens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+
+def obj_digest(obj: Any) -> str:
+    """16-hex-char SHA-256 of the canonical JSON form of ``obj``."""
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def rng_state_digests(machine) -> Dict[str, str]:
+    """Digest of the full ``getstate()`` of every Machine RNG stream."""
+    streams = {
+        "hierarchy": machine.hierarchy._rng,
+        "noise": machine.noise._rng,
+        "preempt": machine._preempt_rng,
+        "jitter": machine._jitter_rng,
+    }
+    return {name: obj_digest(rng.getstate()) for name, rng in streams.items()}
+
+
+def machine_digest(machine) -> Dict[str, Any]:
+    """The canonical observable-state dict (see module docstring)."""
+    return {
+        "now": machine.now,
+        "stats": machine.hierarchy.stats.as_dict(),
+        "noise_events": machine.noise.events,
+        "rng": rng_state_digests(machine),
+    }
+
+
+def diff_keys(expected: Any, actual: Any, prefix: str = "") -> List[str]:
+    """Paths at which two (JSON-shaped) values disagree.
+
+    Recurses through dicts and lists; leaves are compared with ``==``.
+    Returns ``[]`` when the values are identical — the fuzz oracle's
+    verdict — and otherwise dotted paths like ``"stats.l1_hits"`` or
+    ``"records.3"`` naming every point of divergence.
+    """
+    where = prefix or "$"
+    if type(expected) is not type(actual):
+        return [where]
+    if isinstance(expected, dict):
+        out: List[str] = []
+        for key in sorted(set(expected) | set(actual)):
+            sub = f"{prefix}.{key}" if prefix else str(key)
+            if key not in expected or key not in actual:
+                out.append(sub)
+            else:
+                out.extend(diff_keys(expected[key], actual[key], sub))
+        return out
+    if isinstance(expected, (list, tuple)):
+        if len(expected) != len(actual):
+            return [f"{where}#len"]
+        out = []
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            sub = f"{prefix}.{i}" if prefix else str(i)
+            out.extend(diff_keys(e, a, sub))
+        return out
+    return [] if expected == actual else [where]

@@ -1,0 +1,113 @@
+"""Mutation self-test: prove the differential harness catches seeded faults.
+
+A fuzzer that reports "zero divergences" is only evidence if it would
+have reported one.  This module injects a deliberate replacement-policy
+bug — :class:`~repro.memsys.policy_tables.LRUTable` evicting the *most*
+recently used way instead of the least — into the flat data plane only,
+then demonstrates that:
+
+1. differential fuzzing flags a divergence against the reference tier
+   (whose object-based policies are untouched) within a few seeds;
+2. the shrinker reduces the diverging trace to a minimal replayable
+   artifact;
+3. the shrunk trace runs clean once the mutation is lifted (the fault,
+   not the harness, was the problem).
+
+The patch must be active *before* machine construction: the flat cache
+binds ``self._pt_victim = pol.victim`` at ``__init__`` time, so mutating
+the class afterwards would not take.  :func:`run_selftest` keeps the
+mutation inside the predicate passed to the shrinker for exactly that
+reason — every probe rebuilds its machines under the patch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..memsys.policy_tables import LRUTable
+from .fuzz import (
+    DEFAULT_ARTIFACT_DIR,
+    FuzzConfig,
+    generate_trace,
+    run_tiers,
+    write_artifact,
+)
+from .shrink import shrink_trace
+
+
+@contextlib.contextmanager
+def replacement_policy_mutation():
+    """Swap LRUTable's victim choice to MRU (flat data plane only).
+
+    The reference oracle builds its policies through
+    ``repro.memsys.replacement.make_policy`` and is unaffected, so every
+    machine built under this context diverges from the reference tier as
+    soon as a full set takes a fill.
+    """
+    original = LRUTable.victim
+
+    def mru_victim(self, state, base):
+        hi = base + self.ways
+        seg = state[base:hi]
+        return seg.index(max(seg))
+
+    LRUTable.victim = mru_victim
+    try:
+        yield
+    finally:
+        LRUTable.victim = original
+
+
+def _mutated_failing(trace: Dict[str, Any]) -> bool:
+    with replacement_policy_mutation():
+        return not run_tiers(trace)["ok"]
+
+
+def run_selftest(
+    cfg: Optional[FuzzConfig] = None,
+    max_seeds: int = 25,
+    base_seed: int = 0,
+    artifact_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Inject the MRU mutation, catch it, shrink it, and verify the cure.
+
+    Returns a summary dict; ``caught`` is the headline bit.  An artifact
+    of the shrunk diverging trace is written to ``artifact_dir`` so the
+    failure mode the harness is certified against stays inspectable.
+    """
+    cfg = cfg or FuzzConfig(noise="none", partition="never")
+    artifact_dir = Path(artifact_dir or DEFAULT_ARTIFACT_DIR)
+    for seed in range(base_seed, base_seed + max_seeds):
+        trace = generate_trace(cfg, seed)
+        with replacement_policy_mutation():
+            mutated = run_tiers(trace)
+        if mutated["ok"]:
+            continue
+        shrunk = shrink_trace(trace, _mutated_failing)
+        with replacement_policy_mutation():
+            shrunk_result = run_tiers(shrunk)
+        clean_result = run_tiers(shrunk)
+        artifact = write_artifact(
+            artifact_dir / f"selftest-seed{seed}.json",
+            shrunk,
+            {
+                "kind": "mutation-selftest",
+                "seed": seed,
+                "mutated": shrunk_result,
+                "clean": clean_result,
+            },
+        )
+        return {
+            "caught": True,
+            "seed": seed,
+            "seeds_tried": seed - base_seed + 1,
+            "ops_before": len(trace["ops"]),
+            "ops_after": len(shrunk["ops"]),
+            "divergent": mutated["divergent"],
+            "shrunk_still_fails": not shrunk_result["ok"],
+            "clean_after_unpatch": clean_result["ok"],
+            "artifact": str(artifact),
+        }
+    return {"caught": False, "seeds_tried": max_seeds}

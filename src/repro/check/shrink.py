@@ -1,0 +1,60 @@
+"""Greedy delta-debugging shrinker for diverging fuzz traces.
+
+A diverging trace straight out of the fuzzer carries a dozen operations,
+most of them irrelevant to the divergence.  :func:`shrink_trace` runs a
+ddmin-style reduction over the operation list: remove chunks (halving
+from ``len/2`` down to single ops) and keep any removal under which the
+trace still fails, looping until a full single-op pass removes nothing.
+
+The predicate is caller-supplied (for the fuzzer: "some tier still
+diverges / an invariant still trips when replayed"), so the shrinker
+stays generic — the mutation self-test reuses it with the fault
+injection active inside the predicate.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict
+
+
+def shrink_trace(
+    trace: Dict[str, Any],
+    is_failing: Callable[[Dict[str, Any]], bool],
+    max_probes: int = 400,
+) -> Dict[str, Any]:
+    """Minimize ``trace["ops"]`` while ``is_failing`` stays true.
+
+    ``is_failing`` receives a candidate trace (same machine/seed fields,
+    reduced op list) and must return True when the failure reproduces.
+    The input trace is not mutated; the (possibly empty-op) minimized
+    trace is returned.  ``max_probes`` bounds total replays so a flaky
+    predicate cannot loop forever.
+    """
+    ops = list(trace["ops"])
+    probes = 0
+
+    def candidate(kept) -> Dict[str, Any]:
+        out = copy.deepcopy(trace)
+        out["ops"] = list(kept)
+        return out
+
+    progress = True
+    while progress and probes < max_probes:
+        progress = False
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and probes < max_probes:
+            start = 0
+            while start < len(ops) and probes < max_probes:
+                kept = ops[:start] + ops[start + chunk :]
+                probes += 1
+                if is_failing(candidate(kept)):
+                    ops = kept
+                    progress = True
+                    # Retry the same position: the next chunk slid into it.
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    return candidate(ops)

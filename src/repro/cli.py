@@ -21,7 +21,9 @@ its journal instead of recomputing finished trials.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import Table, format_progress, format_seconds
@@ -37,6 +39,7 @@ from .core.monitor import ParallelProbing, monitor_set
 from .core.pipeline import AttackConfig, run_end_to_end
 from .core.scanner import ScannerConfig, TargetSetClassifier, collect_labeled_traces
 from .envs import EnvSpec, environment_names
+from .errors import ReproError
 from .exec import (
     CampaignJournal,
     ConstructionSample,
@@ -215,6 +218,101 @@ def cmd_campaign(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzz across the four execution tiers (repro.check)."""
+    from .check import (
+        DEFAULT_ARTIFACT_DIR,
+        FuzzConfig,
+        fuzz_campaign,
+        generate_trace,
+        replay_artifact,
+        run_selftest,
+        run_tiers,
+        shrink_trace,
+        write_artifact,
+    )
+
+    artifact_dir = (
+        Path(args.artifact_dir) if args.artifact_dir else DEFAULT_ARTIFACT_DIR
+    )
+    if args.replay:
+        try:
+            result = replay_artifact(args.replay)
+        except (OSError, ReproError) as exc:
+            print(f"cannot replay {args.replay}: {exc}")
+            return 2
+        print(f"replayed {args.replay}: {'ok' if result['ok'] else 'FAILING'}")
+        if result["divergent"]:
+            print(f"  divergent tiers: {', '.join(result['divergent'])}")
+            for tier, delta in result["diffs"].items():
+                print(f"  {tier}: {', '.join(delta)}")
+        for tier, message in result["violations"].items():
+            print(f"  {tier}: invariant violation: {message}")
+        return 0 if result["ok"] else 1
+
+    cfg = FuzzConfig(
+        machine=args.machine,
+        noise=args.noise,
+        partition=args.partition,
+        n_ops=args.ops,
+    )
+    if args.self_test:
+        summary = run_selftest(
+            dataclasses.replace(cfg, noise="none", partition="never"),
+            artifact_dir=artifact_dir,
+        )
+        if not summary["caught"]:
+            print(
+                f"SELF-TEST FAILED: injected replacement-policy mutation "
+                f"not detected in {summary['seeds_tried']} seeds"
+            )
+            return 1
+        print(
+            f"self-test: injected LRU->MRU mutation caught at seed "
+            f"{summary['seed']} (tiers {', '.join(summary['divergent'])}); "
+            f"trace shrunk {summary['ops_before']} -> "
+            f"{summary['ops_after']} ops; clean after unpatch: "
+            f"{summary['clean_after_unpatch']}"
+        )
+        print(f"artifact: {summary['artifact']}")
+        return 0 if summary["shrunk_still_fails"] and summary[
+            "clean_after_unpatch"
+        ] else 1
+
+    campaign = fuzz_campaign(cfg, args.seeds, base_seed=args.seed)
+    policy = ExecPolicy(jobs=_resolve_jobs(args), timeout_s=args.timeout_s)
+    reporter = ProgressReporter(enabled=args.progress)
+    result = run_campaign(campaign, policy, reporter=reporter)
+    print(format_progress(result.metrics, label=campaign.name))
+    failing = [r for r in result.values() if not r["ok"]]
+    crashed = result.failures()
+    divergences = sum(1 for r in failing if r["divergent"])
+    violations = sum(1 for r in failing if r["violations"])
+    checks = sum(r["checks"] for r in result.values())
+    print(
+        f"fuzz: {len(result.records)} traces on {args.machine} "
+        f"({checks} invariant checks): "
+        f"{divergences} tier divergences, {violations} invariant violations"
+    )
+    for record in crashed:
+        print(f"trial {record.index} (seed {record.seed}) "
+              f"{record.status}: {record.error}")
+    for failure in failing:
+        seed = failure["seed"]
+        print(f"seed {seed}: divergent={failure['divergent']} "
+              f"violations={sorted(failure['violations'])}")
+        trace = generate_trace(cfg, seed)
+        shrunk = shrink_trace(trace, lambda t: not run_tiers(t)["ok"])
+        artifact = write_artifact(
+            artifact_dir / f"diverge-seed{seed}.json",
+            shrunk,
+            {"kind": "fuzz-divergence", "seed": seed,
+             "result": run_tiers(shrunk)},
+        )
+        print(f"  shrunk to {len(shrunk['ops'])} ops -> {artifact}")
+    return 0 if not failing and not crashed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -291,6 +389,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="stream live progress (trials/s, ETA) to stderr")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the four execution tiers "
+        "(reference/batched/kernels/lanes) with invariant checking",
+    )
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of traces (seed range is base..base+N-1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed of the fixed fuzz seed range")
+    p.add_argument("--machine", default="tiny",
+                   choices=sorted(MACHINE_PRESETS))
+    p.add_argument("--noise", default="mix",
+                   choices=sorted(NOISE_PRESETS) + ["mix"],
+                   help="noise preset, or 'mix' to draw per trace")
+    p.add_argument("--partition", default="mix",
+                   choices=["never", "always", "mix"],
+                   help="way-partitioning defense in the trace grammar")
+    p.add_argument("--ops", type=int, default=10,
+                   help="operations drawn per trace (plus setup)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores)")
+    p.add_argument("--timeout-s", type=float, default=None,
+                   help="per-trace wall-clock timeout in seconds")
+    p.add_argument("--artifact-dir", default=None,
+                   help="where to write shrunk diverging-trace artifacts "
+                   "(default .repro/fuzz)")
+    p.add_argument("--self-test", action="store_true",
+                   help="inject a replacement-policy mutation and prove "
+                   "the harness catches it")
+    p.add_argument("--replay", default=None, metavar="ARTIFACT",
+                   help="re-run a saved trace artifact across all tiers")
+    p.add_argument("--progress", action="store_true",
+                   help="stream live progress (trials/s, ETA) to stderr")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

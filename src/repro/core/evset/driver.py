@@ -96,27 +96,54 @@ def construct_sf_evset(
     stats = AlgorithmStats()
     pool = [va for va in candidate_vas if va != target_va]
     reason = "exhausted attempts"
+    # The two-phase LLC->SF protocol assumes the SF has exactly one more
+    # way than the LLC *for this attacker's traffic*.  A way-partitioned
+    # machine (duck-typed `effective_ways` on the SF) breaks that: the
+    # attacker's SF partition and the shared-traffic LLC partition have
+    # unrelated way budgets.  Pruning still has to run through the LLC —
+    # the filtered groups put every candidate in one L2 set, so a
+    # direct-SF prefix test self-evicts the target from the private L2
+    # and reads "evicted" regardless of the SF state.  Instead each LLC
+    # pass yields `effective_ways(SHARED)` congruent addresses, and the
+    # passes repeat on the remaining pool until the attacker's SF way
+    # budget is covered (every small SF-mode verification stays under the
+    # L2 associativity, so it remains reliable).
+    partitioned = hasattr(machine.hierarchy.sf, "effective_ways")
     for attempt in range(cfg.max_attempts):
         stats.attempts = attempt + 1
         if machine.now > deadline:
             reason = "budget exceeded"
             break
         tester = EvictionTester(
-            ctx, mode="llc", parallel=algorithm.wants_parallel,
+            ctx, mode="llc",
+            parallel=algorithm.wants_parallel,
             repeats=cfg.traversal_repeats,
         )
         try:
-            llc_vas = algorithm.prune(tester, target_va, pool, cfg, deadline, stats)
-            members = set(llc_vas)
-            # Shuffle the extension pool: pruning consumes the congruent
-            # addresses from a position-biased region of the list (e.g.
-            # binary search takes exactly those before the last tipping
-            # point), which would leave a long congruent-free prefix.
-            ext_pool = [va for va in pool if va not in members]
-            ctx.rng.shuffle(ext_pool)
-            extra = _find_sf_extension(
-                ctx, llc_vas, target_va, ext_pool, deadline, stats,
-            )
+            pruned = algorithm.prune(tester, target_va, pool, cfg, deadline, stats)
+            if partitioned:
+                sf_ways = machine.hierarchy.sf.effective_ways(ctx.main_core)
+                collected = list(pruned)
+                subpool = [va for va in pool if va not in set(collected)]
+                while len(collected) < sf_ways:
+                    extra = algorithm.prune(
+                        tester, target_va, subpool, cfg, deadline, stats
+                    )
+                    collected.extend(extra)
+                    subpool = [va for va in subpool if va not in set(extra)]
+                evset_vas = collected[:sf_ways]
+            else:
+                members = set(pruned)
+                # Shuffle the extension pool: pruning consumes the congruent
+                # addresses from a position-biased region of the list (e.g.
+                # binary search takes exactly those before the last tipping
+                # point), which would leave a long congruent-free prefix.
+                ext_pool = [va for va in pool if va not in members]
+                ctx.rng.shuffle(ext_pool)
+                extra = _find_sf_extension(
+                    ctx, pruned, target_va, ext_pool, deadline, stats,
+                )
+                evset_vas = list(pruned) + [extra]
         except BudgetExceededError:
             reason = "budget exceeded"
             break
@@ -126,7 +153,6 @@ def construct_sf_evset(
             continue
         finally:
             stats.traversed_addresses += tester.traversed_addresses
-        evset_vas = list(llc_vas) + [extra]
         sf_tester = EvictionTester(ctx, mode="sf", parallel=True)
         stats.tests += 3
         if sf_tester.is_eviction_set(target_va, evset_vas, votes=3):

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 from ...errors import ConfigurationError
 from ...memsys import kernels as kernelmod
 from ...memsys import lanes as lanesmod
+from ...memsys.hierarchy import SHARED_OWNER
 from ..context import AttackerContext
 
 
@@ -62,6 +63,22 @@ class EvictionTester:
         self.use_kernels = use_kernels
         cfg = ctx.machine.cfg
         self.ways = {"llc": cfg.llc.ways, "sf": cfg.sf.ways, "l2": cfg.l2.ways}[mode]
+        # Partition-aware dynamic associativity: a way-partitioned shared
+        # cache exposes `effective_ways(owner)` (duck-typed; absent on the
+        # plain data plane).  The contention domain differs by mode — llc
+        # traversals make lines *shared* (they land in the shared-traffic
+        # partition), sf traversals *store* from the main core (they land
+        # in the attacker's own partition) — so the tester sizes sets for
+        # the domain's real associativity instead of the config total.
+        hier = ctx.machine.hierarchy
+        if mode == "llc":
+            probe = getattr(hier.llc, "effective_ways", None)
+            if probe is not None:
+                self.ways = probe(SHARED_OWNER)
+        elif mode == "sf":
+            probe = getattr(hier.sf, "effective_ways", None)
+            if probe is not None:
+                self.ways = probe(ctx.main_core)
         self.n_tests = 0
         self.traversed_addresses = 0
 

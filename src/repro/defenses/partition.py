@@ -109,6 +109,17 @@ class WayPartitionedCache:
                 best = candidate
         return best
 
+    def effective_ways(self, owner: int) -> int:
+        """Associativity actually available to ``owner``'s insertions.
+
+        The partition-aware probe the eviction-set machinery duck-types
+        against (plain caches do not define it): under partitioning, the
+        contention-relevant way count is the owner's domain budget, not
+        the config total — an attacker sizing sets for the static
+        associativity builds supersets that can never be minimized.
+        """
+        return self._parts[self._domain(owner)].ways
+
     def insert(
         self, set_idx: int, tag: int, owner: int = 0, update_owner: bool = True
     ):

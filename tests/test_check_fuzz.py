@@ -1,0 +1,166 @@
+"""Differential fuzzer smoke tests: trace generation, replay, shrink, self-test."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import (
+    TIERS,
+    FuzzConfig,
+    fuzz_campaign,
+    fuzz_trial,
+    generate_trace,
+    load_artifact,
+    replay_artifact,
+    replacement_policy_mutation,
+    run_selftest,
+    run_tiers,
+    run_trace,
+    shrink_trace,
+    write_artifact,
+)
+from repro.errors import ReproError
+from repro.exec import ExecPolicy, run_campaign
+
+QUIET = FuzzConfig(machine="tiny", noise="none", partition="never", n_ops=8)
+
+
+class TestGenerateTrace:
+    def test_deterministic_for_seed(self):
+        assert generate_trace(QUIET, 4) == generate_trace(QUIET, 4)
+
+    def test_seed_changes_trace(self):
+        assert generate_trace(QUIET, 4) != generate_trace(QUIET, 5)
+
+    def test_trace_is_json_round_trippable(self):
+        trace = generate_trace(QUIET, 1)
+        assert json.loads(json.dumps(trace)) == trace
+
+    def test_partition_always_includes_partition_spec(self):
+        cfg = FuzzConfig(machine="tiny", noise="none", partition="always", n_ops=6)
+        trace = generate_trace(cfg, 0)
+        assert trace["partition"] is not None
+        assert "att" in trace["partition"]["sf"]
+
+    def test_ops_start_with_calibrate_and_pool(self):
+        trace = generate_trace(QUIET, 9)
+        assert trace["ops"][0] == ["calibrate"]
+        assert trace["ops"][1][0] == "pool"
+
+
+class TestRunTrace:
+    def test_reference_tier_replays(self):
+        out = run_trace(generate_trace(QUIET, 2), "reference")
+        assert out["violation"] is None
+        assert out["checks"] > 0
+        assert out["records"]
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ReproError):
+            run_trace(generate_trace(QUIET, 2), "warp")
+
+
+@pytest.mark.slow
+class TestFuzzSmoke:
+    """The CI smoke: fixed seeds, all four tiers must agree exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_quiet_seeds_agree(self, seed):
+        result = run_tiers(generate_trace(QUIET, seed))
+        assert result["ok"], result
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_noisy_partitioned_seeds_agree(self, seed):
+        cfg = FuzzConfig(
+            machine="tiny", noise="cloud-quiet", partition="always", n_ops=8
+        )
+        result = run_tiers(generate_trace(cfg, seed))
+        assert result["ok"], result
+
+    def test_campaign_runs_through_executor(self):
+        campaign = fuzz_campaign(QUIET, seeds=3)
+        result = run_campaign(campaign, ExecPolicy(jobs=1))
+        assert result.ok
+        assert all(r["ok"] for r in result.values())
+
+    def test_trial_seed_recorded(self):
+        trial = fuzz_trial(QUIET, 7)
+        assert trial["seed"] == 7
+        assert trial["ok"]
+
+
+class TestShrinker:
+    def _trace(self, n=12):
+        ops = [["calibrate"], ["pool", 0x240, 10]]
+        ops += [["advance", i] for i in range(n)]
+        return {"machine": "tiny", "noise": "none", "seed": 0,
+                "ctx_seed": 1, "partition": None, "ops": ops}
+
+    def test_minimizes_to_single_culprit(self):
+        trace = self._trace()
+
+        def failing(t):
+            return any(op[0] == "advance" and op[1] == 5 for op in t["ops"])
+
+        shrunk = shrink_trace(trace, failing)
+        advances = [op for op in shrunk["ops"] if op[0] == "advance"]
+        assert advances == [["advance", 5]]
+
+    def test_keeps_pair_dependencies(self):
+        trace = self._trace()
+
+        def failing(t):
+            hits = {op[1] for op in t["ops"] if op[0] == "advance"}
+            return {2, 9} <= hits
+
+        shrunk = shrink_trace(trace, failing)
+        advances = sorted(op[1] for op in shrunk["ops"] if op[0] == "advance")
+        assert advances == [2, 9]
+
+    def test_input_not_mutated(self):
+        trace = self._trace()
+        before = json.dumps(trace, sort_keys=True)
+        shrink_trace(trace, lambda t: len(t["ops"]) > 2)
+        assert json.dumps(trace, sort_keys=True) == before
+
+    def test_non_failing_trace_returned_whole(self):
+        trace = self._trace(n=3)
+        assert shrink_trace(trace, lambda t: False)["ops"] == trace["ops"]
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        trace = generate_trace(QUIET, 3)
+        path = write_artifact(tmp_path / "a" / "t.json", trace, {"ok": True})
+        loaded, result = load_artifact(path)
+        assert loaded == trace
+        assert result == {"ok": True}
+
+    def test_replay_artifact_fresh_verdict(self, tmp_path):
+        trace = generate_trace(QUIET, 3)
+        path = write_artifact(tmp_path / "t.json", trace, {})
+        assert replay_artifact(path)["ok"]
+
+    def test_rejects_non_artifact(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"version": 9}))
+        with pytest.raises(ReproError):
+            load_artifact(path)
+
+
+@pytest.mark.slow
+class TestMutationSelfTest:
+    def test_mutation_is_caught_and_shrunk(self, tmp_path):
+        summary = run_selftest(max_seeds=25, artifact_dir=tmp_path)
+        assert summary["caught"]
+        assert summary["shrunk_still_fails"]
+        assert summary["clean_after_unpatch"]
+        assert summary["ops_after"] <= summary["ops_before"]
+        trace, result = load_artifact(summary["artifact"])
+        assert result["kind"] == "mutation-selftest"
+        # The artifact replays clean on pristine code and diverges mutated.
+        assert run_tiers(trace)["ok"]
+        with replacement_policy_mutation():
+            assert not run_tiers(trace)["ok"]

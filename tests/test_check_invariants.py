@@ -1,0 +1,206 @@
+"""Unit tests for the invariant checker and its hierarchy hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import make_rng
+from repro.config import cloud_run_noise, no_noise, tiny_machine
+from repro.defenses import WayPartitionedCache, apply_way_partitioning
+from repro.defenses.partition import OTHER_DOMAIN
+from repro.errors import ReproError
+from repro.memsys._reference import ReferenceSetAssociativeCache
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.machine import Machine
+from repro.check import (
+    InvariantChecker,
+    InvariantViolation,
+    install_invariant_hook,
+    invariant_hook,
+    uninstall_invariant_hook,
+)
+from repro.check.invariants import (
+    check_flat_cache,
+    check_reference_cache,
+    resident_keys,
+)
+
+
+def _exercise(machine: Machine, n: int = 120) -> None:
+    space = machine.new_address_space()
+    lines = [space.translate_line(space.alloc_page()) for _ in range(n)]
+    for i, line in enumerate(lines):
+        machine.access(i % machine.cfg.cores, line, write=i % 3 == 0)
+    machine.access_batch(0, lines[: n // 2])
+    machine.flush_batch(lines[n // 2 :])
+
+
+class TestCheckFlatCache:
+    def _cache(self, policy="lru", ops=60):
+        cache = SetAssociativeCache("T", 8, 4, policy, make_rng(3))
+        rng = make_rng(9)
+        for _ in range(ops):
+            cache.insert(rng.randrange(8), rng.randrange(40), owner=rng.randrange(3))
+        return cache
+
+    @pytest.mark.parametrize("policy", ["lru", "tree_plru", "srrip", "qlru", "random"])
+    def test_clean_cache_passes(self, policy):
+        check_flat_cache(self._cache(policy), deep=True)
+
+    def test_detects_corrupt_where_index(self):
+        cache = self._cache()
+        key = next(iter(cache._where))
+        cache._where[key] = (cache._where[key] + 1) % (cache.n_sets * cache.ways)
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache)
+
+    def test_detects_missing_index_entry(self):
+        cache = self._cache()
+        cache._where.pop(next(iter(cache._where)))
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache)
+
+    def test_detects_occupancy_drift(self):
+        cache = self._cache()
+        cache._occ[0] += 1
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache)
+
+    def test_detects_stale_owner_on_empty_slot(self):
+        cache = self._cache(ops=10)
+        slot = next(i for i, t in enumerate(cache._tags) if t is None)
+        cache._owners[slot] = 2
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache, deep=True)
+
+    def test_detects_illegal_policy_state(self):
+        cache = self._cache("srrip")
+        cache._state[0] = 7  # RRPV must stay in [0, 3]
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache)
+
+    def test_detects_lru_stamp_outside_live_range(self):
+        cache = self._cache("lru")
+        cache._state[0] = cache._pol._stamp + 10
+        with pytest.raises(InvariantViolation):
+            check_flat_cache(cache)
+
+
+class TestCheckReferenceCache:
+    def test_clean_reference_passes(self):
+        cache = ReferenceSetAssociativeCache("R", 8, 4, "lru", make_rng(3))
+        for tag in range(10):
+            cache.insert(tag % 8, tag, owner=0)
+        check_reference_cache(cache)
+
+    def test_detects_duplicate_tag(self):
+        cache = ReferenceSetAssociativeCache("R", 8, 4, "lru", make_rng(3))
+        cache.insert(0, 1, owner=0)
+        cache.insert(0, 2, owner=0)
+        cset = cache._sets[0]
+        cset.tags[cset.tags.index(2)] = 1
+        with pytest.raises(InvariantViolation):
+            check_reference_cache(cache)
+
+
+class TestResidentKeys:
+    def test_partition_overlap_is_a_violation(self):
+        domains = {0: "a", 1: "b"}
+        cache = WayPartitionedCache(
+            "SF", 8, "lru", make_rng(0), {"a": 2, "b": 2, OTHER_DOMAIN: 2},
+            lambda owner: domains.get(owner, OTHER_DOMAIN),
+        )
+        cache.insert(1, 5, owner=0)
+        cache._parts["b"].insert(1, 5, owner=1)  # bypass the move logic
+        with pytest.raises(InvariantViolation):
+            resident_keys(cache)
+
+
+class TestInvariantChecker:
+    def test_clean_machine_passes(self, tiny):
+        _exercise(tiny)
+        checker = InvariantChecker(tiny.hierarchy)
+        checker.check(deep=True)
+        assert checker.checks == 1
+
+    def test_detects_exclusivity_violation(self, tiny):
+        _exercise(tiny)
+        hier = tiny.hierarchy
+        key = next(iter(resident_keys(hier.sf)))
+        tag, s = divmod(key, hier.llc.n_sets)
+        hier.llc.insert(s, tag, owner=-2)
+        with pytest.raises(InvariantViolation, match="exclusivity"):
+            InvariantChecker(hier).check()
+
+    def test_detects_backwards_noise_clock(self, tiny):
+        _exercise(tiny)
+        hier = tiny.hierarchy
+        checker = InvariantChecker(hier)
+        checker.check()
+        s = next(i for i in range(hier.sf.n_sets) if hier.sf._touched[i])
+        hier.sf._noise_t[s] -= 1
+        with pytest.raises(InvariantViolation, match="ran backwards"):
+            checker.check()
+
+    def test_partitioned_machine_passes(self):
+        machine = Machine(tiny_machine(cores=3), noise=cloud_run_noise(), seed=5)
+        apply_way_partitioning(
+            machine, {0: "att", 1: "att", 2: "vic"},
+            {"att": 2, "vic": 2, OTHER_DOMAIN: 2},
+        )
+        _exercise(machine)
+        InvariantChecker(machine.hierarchy).check(deep=True)
+
+
+class TestHook:
+    def test_hook_checks_every_access(self, tiny):
+        checker = install_invariant_hook(tiny.hierarchy)
+        _exercise(tiny, n=20)
+        assert checker.checks > 20
+        uninstall_invariant_hook(tiny.hierarchy)
+
+    def test_double_install_rejected(self, tiny):
+        install_invariant_hook(tiny.hierarchy)
+        with pytest.raises(ReproError):
+            install_invariant_hook(tiny.hierarchy)
+        uninstall_invariant_hook(tiny.hierarchy)
+
+    def test_uninstall_restores_class_methods(self, tiny):
+        hier = tiny.hierarchy
+        checker = install_invariant_hook(hier)
+        assert "access" in hier.__dict__
+        assert uninstall_invariant_hook(hier) is checker
+        assert "access" not in hier.__dict__
+        assert getattr(hier, "_invariant_checker", None) is None
+
+    def test_context_manager_form(self, tiny):
+        with invariant_hook(tiny.hierarchy) as checker:
+            _exercise(tiny, n=10)
+            assert checker.checks > 0
+        assert "access" not in tiny.hierarchy.__dict__
+
+    def test_hook_catches_injected_corruption(self, tiny):
+        hier = tiny.hierarchy
+        space = tiny.new_address_space()
+        line = space.translate_line(space.alloc_page())
+        with invariant_hook(hier):
+            tiny.access(0, line)
+            hier.sf._occ[next(
+                i for i in range(hier.sf.n_sets) if hier.sf._touched[i]
+            )] += 1
+            with pytest.raises(InvariantViolation):
+                tiny.access(0, line + 64)
+
+    def test_hooked_run_is_bit_identical(self):
+        digests = []
+        for hook in (False, True):
+            machine = Machine(tiny_machine(), noise=no_noise(), seed=11)
+            if hook:
+                install_invariant_hook(machine.hierarchy)
+            _exercise(machine, n=80)
+            if hook:
+                uninstall_invariant_hook(machine.hierarchy)
+            from tests._parity import _machine_digest
+
+            digests.append(_machine_digest(machine))
+        assert digests[0] == digests[1]

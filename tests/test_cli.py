@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -112,3 +114,89 @@ class TestCommands:
             second.split("Construction campaign summary")[1]
             == first.split("Construction campaign summary")[1]
         )
+
+    def test_campaign_resumes_after_partial_crash(self, capsys, tmp_path):
+        """A journal truncated mid-append must resume, not crash or rerun all."""
+        argv = [
+            "campaign", "--name", "construction", "--campaign-env", "local",
+            "--algo", "gtop", "--trials", "3", "--budget-ms", "500",
+            "--journal-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        journal = next(tmp_path.glob("*.jsonl"))
+        lines = journal.read_text().splitlines()
+        # Simulate a kill mid-append: drop one full record, truncate another.
+        journal.write_text("\n".join(lines[:-2]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cached" in out  # header + 1 intact trial survive
+
+    def test_campaign_ignores_tampered_journal_header(self, capsys, tmp_path):
+        argv = [
+            "campaign", "--name", "construction", "--campaign-env", "local",
+            "--algo", "gtop", "--trials", "2", "--budget-ms", "500",
+            "--journal-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        journal = next(tmp_path.glob("*.jsonl"))
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint"] = "0" * 64
+        journal.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cached" not in out  # mismatched journal is ignored wholesale
+
+
+class TestFuzzCommand:
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == 50
+        assert args.machine == "tiny"
+        assert args.noise == "mix"
+        assert args.partition == "mix"
+
+    def test_fuzz_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--machine", "epyc"])
+
+    def test_fuzz_rejects_unknown_noise(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--noise", "hurricane"])
+
+    def test_fuzz_rejects_unknown_partition_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--partition", "sometimes"])
+
+    @pytest.mark.slow
+    def test_fuzz_smoke_run(self, capsys, tmp_path):
+        rc = main([
+            "fuzz", "--seeds", "4", "--noise", "none", "--partition", "never",
+            "--artifact-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 tier divergences, 0 invariant violations" in out
+        assert not list(tmp_path.glob("*.json"))  # no artifacts when clean
+
+    def test_fuzz_replay_round_trip(self, capsys, tmp_path):
+        from repro.check import FuzzConfig, generate_trace, write_artifact
+
+        cfg = FuzzConfig(machine="tiny", noise="none", partition="never", n_ops=6)
+        path = write_artifact(
+            tmp_path / "trace.json", generate_trace(cfg, 2), {}
+        )
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fuzz_replay_rejects_non_artifact(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"version": 99}))
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "cannot replay" in capsys.readouterr().out
+
+    def test_fuzz_replay_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["fuzz", "--replay", str(tmp_path / "nope.json")]) == 2
+        assert "cannot replay" in capsys.readouterr().out

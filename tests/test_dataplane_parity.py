@@ -18,9 +18,6 @@ carry and the ``insert`` owner-update semantics.
 
 from __future__ import annotations
 
-import hashlib
-import json
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -31,10 +28,7 @@ from repro.memsys._reference import ReferenceSetAssociativeCache
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.machine import Machine
 from repro.memsys.replacement import policy_names
-
-
-def _h(obj) -> str:
-    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
+from tests._parity import _h
 
 
 # --- Cache-level dynamic parity ---------------------------------------------

@@ -1,0 +1,122 @@
+"""Property-based tests for the way-partitioning defense (Hypothesis).
+
+The defense's whole security argument is two structural properties of
+:class:`WayPartitionedCache` under *any* access schedule:
+
+* a domain's lines never exceed its way budget in any set, and
+* an insertion by one domain never evicts another domain's line.
+
+Random schedules of inserts/removes/ownership transfers across domains
+probe both, plus the `effective_ways` probe the eviction-set machinery
+sizes its sets with.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import make_rng
+from repro.defenses import WayPartitionedCache
+from repro.defenses.partition import OTHER_DOMAIN
+from repro.memsys.hierarchy import NOISE_OWNER, SHARED_OWNER
+
+N_SETS = 4
+PARTITIONS = {"att": 3, "vic": 2, OTHER_DOMAIN: 2}
+DOMAINS = {0: "att", 1: "att", 2: "vic", 3: "vic"}
+
+
+def _domain_of(owner: int) -> str:
+    if owner in (NOISE_OWNER, SHARED_OWNER):
+        return OTHER_DOMAIN
+    return DOMAINS.get(owner, OTHER_DOMAIN)
+
+
+def _make_cache(policy: str = "lru") -> WayPartitionedCache:
+    return WayPartitionedCache(
+        "SF", N_SETS, policy, make_rng(17), dict(PARTITIONS), _domain_of
+    )
+
+
+#: op: (kind, set_idx, tag, owner) — kind 0/1 insert, 2 remove, 3 flush_all.
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, N_SETS - 1),
+        st.integers(0, 30),
+        st.sampled_from([0, 1, 2, 3, SHARED_OWNER, NOISE_OWNER]),
+    ),
+    max_size=200,
+)
+
+
+def _replay(cache: WayPartitionedCache, ops) -> None:
+    for kind, set_idx, tag, owner in ops:
+        if kind in (0, 1):
+            evicted = cache.insert(set_idx, tag, owner=owner)
+            # No cross-domain eviction: whatever fell out must belong to
+            # the inserting owner's domain.
+            if evicted is not None:
+                assert _domain_of(evicted[1]) == _domain_of(owner)
+        elif kind == 2:
+            cache.remove(set_idx, tag)
+        else:
+            cache.flush_all(now=0)
+
+
+# (tree_plru is absent: it needs power-of-two ways, and the "att"
+# partition deliberately has 3 to exercise uneven budgets.)
+@pytest.mark.parametrize("policy", ["lru", "srrip", "qlru", "random"])
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_domain_occupancy_never_exceeds_way_budget(policy, ops):
+    cache = _make_cache(policy)
+    _replay(cache, ops)
+    for domain, budget in PARTITIONS.items():
+        part = cache._parts[domain]
+        for s in range(N_SETS):
+            assert part.occupancy(s) <= budget
+        # Every resident line of the partition belongs to the domain.
+        for s in range(N_SETS):
+            for tag in part.tags_in_set(s):
+                assert _domain_of(part.owner_of(s, tag)) == domain
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_victim_domain_lines_survive_attacker_hammering(ops):
+    """Pre-filled victim lines survive any schedule that never acts as vic."""
+    cache = _make_cache()
+    victim_tags = [100, 101]
+    for s in range(N_SETS):
+        for tag in victim_tags:
+            cache.insert(s, tag, owner=2)
+    # Replay arbitrary traffic from every non-victim owner (tags < 100, so
+    # no removes/ownership transfers can target the victim's lines either).
+    _replay(cache, [op for op in ops if op[3] not in (2, 3) and op[0] != 3])
+    for s in range(N_SETS):
+        for tag in victim_tags:
+            assert cache.contains(s, tag)
+            assert cache.owner_of(s, tag) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_line_resides_in_at_most_one_partition(ops):
+    cache = _make_cache()
+    _replay(cache, ops)
+    for s in range(N_SETS):
+        tags = cache.tags_in_set(s)
+        assert len(tags) == len(set(tags))
+        assert cache.occupancy(s) == len(tags)
+
+
+def test_effective_ways_reports_domain_budget():
+    cache = _make_cache()
+    assert cache.effective_ways(0) == PARTITIONS["att"]
+    assert cache.effective_ways(2) == PARTITIONS["vic"]
+    assert cache.effective_ways(SHARED_OWNER) == PARTITIONS[OTHER_DOMAIN]
+    assert cache.effective_ways(NOISE_OWNER) == PARTITIONS[OTHER_DOMAIN]
+    assert cache.effective_ways(99) == PARTITIONS[OTHER_DOMAIN]
+    assert cache.ways == sum(PARTITIONS.values())

@@ -103,15 +103,12 @@ class TestApplyPartitioning:
 
 @pytest.mark.slow
 class TestDefenseStopsAttack:
-    # Pre-existing at the seed commit (see CHANGES.md, PR 3); triaged in
-    # ISSUE 4: the root cause is deep — WayPartitionedCache disengages the
-    # fused fast paths, and the llc-mode traversal makes lines *shared*, so
-    # they land in the OTHER domain's 4 ways while the tester sizes sets
-    # for the static 11-way config.  BinS then returns supersets whose SF
-    # extension fails for every target.  Needs a partition-aware tester
-    # (dynamic effective-ways probe), out of scope for a perf PR.
-    @pytest.mark.xfail(strict=False,
-                       reason="pre-existing at seed; triaged in ISSUE 4")
+    # Failed from the seed commit until ISSUE 5: the llc-mode traversal
+    # makes lines *shared*, so they land in the OTHER domain's ways while
+    # the tester sized sets for the static config associativity — BinS
+    # returned supersets whose SF extension failed for every target.
+    # Fixed by the partition-aware `effective_ways` probe (EvictionTester)
+    # plus direct-SF pruning in construct_sf_evset.
     def test_victim_cannot_evict_attacker_lines(self):
         """The core guarantee: Prime+Probe goes blind under partitioning."""
         machine = Machine(skylake_sp_small(), noise=no_noise(), seed=3)

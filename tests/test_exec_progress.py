@@ -1,0 +1,82 @@
+"""Tests for the campaign progress reporter (repro.exec.progress)."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+from repro.analysis.progress import format_progress
+from repro.exec import ProgressReporter
+
+
+def _record(ok=True, attempts=1):
+    return SimpleNamespace(ok=ok, attempts=attempts)
+
+
+def _reporter(**kwargs):
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, interval_s=0.0, **kwargs)
+    return reporter, stream
+
+
+class TestProgressReporter:
+    def test_emits_one_line_per_update_at_zero_interval(self):
+        reporter, stream = _reporter()
+        reporter.start("demo", total=3)
+        for _ in range(3):
+            reporter.update(_record())
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 3
+        assert all("demo" in line for line in lines)
+
+    def test_counters_track_failures_and_retries(self):
+        reporter, _ = _reporter()
+        reporter.start("demo", total=4)
+        reporter.update(_record())
+        reporter.update(_record(ok=False))
+        reporter.update(_record(attempts=3))
+        snap = reporter.snapshot()
+        assert (snap.completed, snap.failed, snap.retried) == (3, 1, 2)
+        assert snap.total == 4
+        assert snap.elapsed_s >= 0.0
+
+    def test_disabled_reporter_stays_silent(self):
+        reporter, stream = _reporter(enabled=False)
+        reporter.start("demo", total=2, cached=1)
+        reporter.update(_record(ok=False))
+        reporter.finish(reporter.snapshot())
+        assert stream.getvalue() == ""
+
+    def test_rate_limit_suppresses_fast_updates(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval_s=3600.0)
+        reporter.start("demo", total=50)
+        for _ in range(50):
+            reporter.update(_record())
+        # At most the first update gets through; the rest are rate-limited.
+        assert len(stream.getvalue().splitlines()) <= 1
+        assert reporter.completed == 50
+
+    def test_start_announces_cached_trials(self):
+        reporter, stream = _reporter()
+        reporter.start("demo", total=5, cached=2)
+        assert "2/5 trials cached from journal" in stream.getvalue()
+
+    def test_start_resets_counters(self):
+        reporter, _ = _reporter()
+        reporter.start("a", total=2)
+        reporter.update(_record(ok=False, attempts=2))
+        reporter.start("b", total=7)
+        snap = reporter.snapshot()
+        assert (snap.completed, snap.failed, snap.retried) == (0, 0, 0)
+        assert reporter.label == "b"
+
+    def test_finish_marks_done(self):
+        reporter, stream = _reporter()
+        reporter.start("demo", total=1)
+        reporter.update(_record())
+        metrics = reporter.snapshot()
+        reporter.finish(metrics)
+        last = stream.getvalue().splitlines()[-1]
+        assert last.endswith("| done")
+        assert format_progress(metrics, label="demo") in last

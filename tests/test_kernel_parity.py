@@ -24,10 +24,9 @@ budgets) so CI runs it on every push.
 
 from __future__ import annotations
 
-import hashlib
-import json
-
 import pytest
+
+from tests._parity import _h, _machine_digest
 
 from repro.config import cloud_run_noise, no_noise, skylake_sp_small
 from repro.core.context import AttackerContext
@@ -40,35 +39,6 @@ from repro.core.monitor import ParallelProbing, PrimeScopeFlush, monitor_set
 from repro.memsys import kernels_disabled
 from repro.memsys.kernels import KERNELS_ENABLED
 from repro.memsys.machine import Machine
-
-
-def _h(obj) -> str:
-    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
-
-
-def _rng_states(machine: Machine) -> dict:
-    """Digest of every RNG stream a kernel may consume.
-
-    ``getstate()`` equality is stronger than draw-count equality: two
-    paths that drew different values the same number of times diverge
-    here.
-    """
-    streams = {
-        "hierarchy": machine.hierarchy._rng,
-        "noise": machine.noise._rng,
-        "preempt": machine._preempt_rng,
-        "jitter": machine._jitter_rng,
-    }
-    return {name: _h(rng.getstate()) for name, rng in streams.items()}
-
-
-def _machine_digest(machine: Machine) -> dict:
-    return {
-        "now": machine.now,
-        "stats": machine.hierarchy.stats.as_dict(),
-        "noise_events": machine.noise.events,
-        "rng": _rng_states(machine),
-    }
 
 
 # --- TestEviction parity ----------------------------------------------------

@@ -24,10 +24,10 @@ real, not just via monkeypatching.
 from __future__ import annotations
 
 import contextlib
-import hashlib
-import json
 
 import pytest
+
+from tests._parity import _h, _machine_digest
 
 from repro.config import cloud_run_noise, no_noise, skylake_sp_small
 from repro.core.context import AttackerContext
@@ -42,29 +42,6 @@ from repro.memsys import lanes as lanesmod
 from repro.memsys.kernels import AttackKernels
 from repro.memsys.lanes import LaneKernels
 from repro.memsys.machine import Machine
-
-
-def _h(obj) -> str:
-    return hashlib.sha256(json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
-
-
-def _rng_states(machine: Machine) -> dict:
-    streams = {
-        "hierarchy": machine.hierarchy._rng,
-        "noise": machine.noise._rng,
-        "preempt": machine._preempt_rng,
-        "jitter": machine._jitter_rng,
-    }
-    return {name: _h(rng.getstate()) for name, rng in streams.items()}
-
-
-def _machine_digest(machine: Machine) -> dict:
-    return {
-        "now": machine.now,
-        "stats": machine.hierarchy.stats.as_dict(),
-        "noise_events": machine.noise.events,
-        "rng": _rng_states(machine),
-    }
 
 
 def _path_guard(path: str):
