@@ -11,6 +11,13 @@ Trial fan-out runs on the :mod:`repro.exec` campaign engine: set
 ``REPRO_JOBS=N`` to spread trials over N worker processes (results are
 bit-identical to serial runs) and ``REPRO_JOURNAL_DIR=path`` to journal
 finished trials so a re-invocation resumes instead of recomputing.
+
+Set ``REPRO_FLEET_DIR=path`` to route campaigns through the
+:mod:`repro.fleet` service instead: trials run sharded with per-shard
+durable segments, so a killed benchmark resumes from its last flushed
+shard and a finished one is a pure cache hit.  Benchmarks that opt in
+with ``fleet=True`` (the Section 7.3 end-to-end run) default to the
+fleet path with root ``.repro/fleet``.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.exec import (
     summarize_construction_samples,
 )
 from repro.exec.campaigns import PAGE_OFFSET  # noqa: F401
+from repro.fleet import DEFAULT_FLEET_DIR, FleetPolicy, run_fleet
 
 
 def exec_jobs(default: int = 1) -> int:
@@ -62,20 +70,52 @@ def _journal_for(campaign) -> Optional[CampaignJournal]:
     return CampaignJournal(directory, campaign)
 
 
+def _fleet_dir(opt_in: bool) -> Optional[str]:
+    """Fleet store root: ``REPRO_FLEET_DIR`` always wins; ``fleet=True``
+    benchmarks default to the standard root."""
+    directory = os.environ.get("REPRO_FLEET_DIR", "").strip()
+    if directory:
+        return directory
+    return str(DEFAULT_FLEET_DIR) if opt_in else None
+
+
 def run_benchmark_campaign(
     name: str,
     fn,
     runs: Sequence[Tuple[object, int]],
     jobs: Optional[int] = None,
     codec=None,
+    fleet: bool = False,
 ) -> List[object]:
     """Fan ``fn`` out over explicit (config, seed) runs; results in order.
 
     The engine keeps results independent of worker count; any trial
-    failure is re-raised, matching the historical serial loops.
+    failure is re-raised, matching the historical serial loops.  With
+    ``fleet=True`` (or ``REPRO_FLEET_DIR`` set) the campaign runs through
+    the :mod:`repro.fleet` scheduler: sharded, durable per shard, and
+    resumable after a kill — with values identical to the direct path.
     """
     campaign = grid_campaign(fn, runs, name=name, codec=codec)
-    policy = ExecPolicy(jobs=jobs if jobs is not None else exec_jobs())
+    jobs = jobs if jobs is not None else exec_jobs()
+    root = _fleet_dir(opt_in=fleet)
+    if root is not None:
+        # One shard per ~quarter of the campaign keeps resume granularity
+        # useful for small benchmark runs; CPU fan-out stays inside the
+        # shard (jobs_per_shard), so worker-count semantics are unchanged.
+        policy = FleetPolicy(
+            shard_size=max(1, (len(campaign) + 3) // 4),
+            max_inflight=1,
+            jobs_per_shard=jobs,
+        )
+        report, store = run_fleet(campaign, root, policy)
+        if report.failed_trials or not report.complete:
+            raise RuntimeError(
+                f"fleet campaign {campaign.name!r} incomplete: "
+                f"{report.completed_trials}/{report.total_trials} trials, "
+                f"{report.failed_trials} failed (store: {store.run_dir})"
+            )
+        return [v for _, v in store.iter_values()]
+    policy = ExecPolicy(jobs=jobs)
     result = run_campaign(campaign, policy, journal=_journal_for(campaign))
     return result.raise_on_failure().values()
 

@@ -47,8 +47,12 @@ def _train_offline_classifier(seed: int) -> TargetSetClassifier:
     )
     target_set = machine.hierarchy.shared_set_index(victim.layout.monitored_line)
     victim.run_continuously(machine.now + 1000)
+    # Class-balanced training (same cure as test_scanner_pipeline): with
+    # one target set among many and a ~25% victim duty cycle, per_set=2
+    # positives are often all idle and the SVM collapses to "always
+    # negative" — then no pair ever identifies its target.
     clf_traces, labels = collect_labeled_traces(
-        ctx, bulk.evsets, target_set, scfg, per_set=2
+        ctx, bulk.evsets, target_set, scfg, per_set=2, positive_reps=16
     )
     clf = TargetSetClassifier(machine.clock_hz, scfg).fit(clf_traces, labels)
     _CLASSIFIER_CACHE[seed] = clf
@@ -90,8 +94,13 @@ def run_sec73() -> dict:
         ["Pair", "Target found", "Evset build", "Scan", "Collect",
          "Total (sim)", "Median bits recovered", "Mean BER"],
     )
+    # The heaviest benchmark runs through the fleet service: each pair is
+    # durable once finished, so a killed run resumes instead of redoing
+    # multi-second end-to-end attacks, and a rerun is a pure cache hit.
     runs = [(cfg, 710 + pair) for pair in range(PAIRS)]
-    outcomes = run_benchmark_campaign("sec73-pairs", _pair_trial, runs)
+    outcomes = run_benchmark_campaign(
+        "sec73-pairs", _pair_trial, runs, fleet=True
+    )
     identified = 0
     all_fracs = []
     all_bers = []

@@ -2,17 +2,29 @@
 
 Every benchmark uses these helpers to print its paper-vs-measured rows in
 a uniform format (see EXPERIMENTS.md for the collected output).
+:mod:`repro.analysis.streaming` adds constant-memory aggregates for
+fleet-scale campaigns whose results never fit in memory at once.
 """
 
 from .dataplane import dataplane_summary
 from .progress import CampaignMetrics, format_progress
 from .stats import Summary, cdf_points, summarize
+from .streaming import (
+    CampaignAggregate,
+    StreamingMoments,
+    aggregate_values,
+    aggregates_equal,
+)
 from .reporting import Table, format_seconds, paper_vs_measured
 
 __all__ = [
+    "CampaignAggregate",
     "CampaignMetrics",
+    "StreamingMoments",
     "Summary",
     "Table",
+    "aggregate_values",
+    "aggregates_equal",
     "cdf_points",
     "dataplane_summary",
     "format_progress",

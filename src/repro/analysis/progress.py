@@ -57,16 +57,34 @@ class CampaignMetrics:
             return float("inf") if self.remaining else 0.0
         return self.remaining / rate
 
+    @property
+    def percent_done(self) -> float:
+        """Completion percentage; an empty campaign is trivially done."""
+        if self.total <= 0:
+            return 100.0
+        return 100.0 * self.done / self.total
+
 
 def format_progress(metrics: CampaignMetrics, label: str = "campaign") -> str:
-    """One-line progress report, e.g. for a live ``\\r``-refreshed status."""
-    parts = [f"{label}: {metrics.done}/{metrics.total} trials"]
+    """One-line progress report, e.g. for a live ``\\r``-refreshed status.
+
+    Every line carries throughput and ETA so snapshot and finish output
+    are self-describing; all derived numbers are safe for ``total=0``
+    (an empty campaign reports 100% with nothing remaining).
+    """
+    parts = [
+        f"{label}: {metrics.done}/{metrics.total} trials "
+        f"({metrics.percent_done:.0f}%)"
+    ]
     if metrics.cached:
         parts.append(f"{metrics.cached} cached")
-    if metrics.trials_per_s > 0.0:
-        parts.append(f"{metrics.trials_per_s:.2f} trials/s")
-    if metrics.remaining and metrics.eta_s != float("inf"):
-        parts.append(f"ETA {format_seconds(metrics.eta_s)}")
+    parts.append(f"{metrics.trials_per_s:.2f} trials/s")
+    if metrics.remaining:
+        eta = metrics.eta_s
+        parts.append(
+            "ETA unknown" if eta == float("inf")
+            else f"ETA {format_seconds(eta)}"
+        )
     if metrics.failed:
         parts.append(f"{metrics.failed} failed")
     if metrics.retried:

@@ -1,0 +1,128 @@
+"""Constant-memory streaming aggregates for fleet-scale campaigns.
+
+A million-trial campaign cannot hold its results in memory; the fleet
+results store streams records in trial-index order and this module folds
+them into live aggregates.  Determinism matters more than speed here:
+folding the same values in the same order always produces bit-identical
+floats, which is what lets the acceptance check compare a sharded,
+resumed, out-of-order-executed fleet run against a serial
+``run_campaign`` of the same specs — both paths feed the aggregator in
+trial-index order, so the summaries must match exactly.
+
+Numeric moments use Welford's online algorithm (one pass, O(1) state);
+``std`` is the population standard deviation, matching
+:func:`repro._util.stddev`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class StreamingMoments:
+    """Welford online count/mean/std/min/max of one numeric series."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 below two samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class CampaignAggregate:
+    """Field-wise streaming summary of a stream of trial values.
+
+    Accepts dict values or flat dataclasses (the two shapes campaign
+    trials return).  Boolean fields aggregate as true-counts (success
+    rates); numeric fields as :class:`StreamingMoments`.  Field order is
+    normalized (sorted) in the output so summaries are comparable across
+    ingestion strategies.
+    """
+
+    def __init__(self) -> None:
+        self.trials = 0
+        self._bools: Dict[str, int] = {}
+        self._stats: Dict[str, StreamingMoments] = {}
+
+    def push(self, value: Any) -> None:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            fields = {
+                f.name: getattr(value, f.name)
+                for f in dataclasses.fields(value)
+            }
+        elif isinstance(value, dict):
+            fields = value
+        else:
+            fields = {"value": value}
+        self.trials += 1
+        for name, field_value in fields.items():
+            if isinstance(field_value, bool):
+                self._bools[name] = self._bools.get(name, 0) + int(field_value)
+            elif isinstance(field_value, (int, float)):
+                self._stats.setdefault(name, StreamingMoments()).push(
+                    field_value
+                )
+
+    def extend(self, values: Iterable[Any]) -> "CampaignAggregate":
+        for value in values:
+            self.push(value)
+        return self
+
+    def summary(self) -> Dict[str, Any]:
+        """The aggregate as a plain, JSON-codable, order-normalized dict."""
+        out: Dict[str, Any] = {"trials": self.trials}
+        for name in sorted(self._bools):
+            count = self._bools[name]
+            out[name] = {
+                "count": count,
+                "rate": count / self.trials if self.trials else 0.0,
+            }
+        for name in sorted(self._stats):
+            out[name] = self._stats[name].summary()
+        return out
+
+
+def aggregate_values(values: Iterable[Any]) -> Dict[str, Any]:
+    """One-shot: the streaming summary of an iterable of trial values."""
+    return CampaignAggregate().extend(values).summary()
+
+
+def aggregates_equal(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Exact (bitwise-float) equality of two aggregate summaries."""
+    return a == b

@@ -52,6 +52,7 @@ from .exec import (
 )
 from .exec.campaigns import CLI_CAMPAIGNS
 from .exec.journal import DEFAULT_JOURNAL_DIR
+from .fleet.store import DEFAULT_FLEET_DIR
 from .memsys.machine import Machine
 from .victim import EcdsaVictim, VictimConfig
 
@@ -216,6 +217,13 @@ def cmd_campaign(args) -> int:
             f"{failure.status}: {failure.error}"
         )
     return 0 if result.ok else 1
+
+
+def cmd_fleet(args) -> int:
+    """Fleet service verbs (sharded, resumable campaign runs)."""
+    from .fleet.service import FLEET_VERBS  # lazy: keep base CLI light
+
+    return FLEET_VERBS[args.verb](args)
 
 
 def cmd_fuzz(args) -> int:
@@ -389,6 +397,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="stream live progress (trials/s, ETA) to stderr")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "fleet",
+        help="sharded, resumable campaign service "
+        "(submit / status / resume / drain / aggregate)",
+    )
+    fleet_sub = p.add_subparsers(dest="verb", required=True)
+
+    def fleet_common(fp):
+        fp.add_argument("--fleet-dir", default=str(DEFAULT_FLEET_DIR),
+                        help="root directory for fleet run state")
+        fp.add_argument("--shard-size", type=int, default=256,
+                        help="trials per shard (the dispatch/resume unit)")
+        fp.add_argument("--max-inflight", type=int, default=2,
+                        help="shards executing concurrently")
+        fp.add_argument("--jobs-per-shard", type=int, default=1,
+                        help="worker processes inside each shard (0 invalid)")
+        fp.add_argument("--queue-depth", type=int, default=8,
+                        help="bounded dispatch queue depth")
+        fp.add_argument("--shard-retries", type=int, default=2,
+                        help="retries (with backoff) for a crashed shard")
+        fp.add_argument("--timeout-s", type=float, default=None,
+                        help="per-trial wall-clock timeout in seconds")
+        fp.add_argument("--flush-every", type=int, default=64,
+                        help="trials per durable segment flush")
+        fp.add_argument("--stop-after-shards", type=int, default=None,
+                        help="drain gracefully after N shards (ops/test knob)")
+        fp.add_argument("--progress", action="store_true",
+                        help="stream live progress (trials/s, ETA) to stderr")
+
+    fp = fleet_sub.add_parser("submit", help="run a named campaign sharded")
+    fp.add_argument("--name", default="noise-mc",
+                    help="campaign to run (exec campaigns + fleet campaigns)")
+    fp.add_argument("--campaign-env", default="cloud",
+                    help="named environment / noise preset for the trials")
+    fp.add_argument("--algo", default="bins", choices=algorithm_names())
+    fp.add_argument("--trials", type=int, default=100_000)
+    fp.add_argument("--budget-ms", type=float, default=1000.0)
+    fp.add_argument("--seed", type=int, default=1000,
+                    help="base seed of the campaign's trial seed stream")
+    fp.add_argument("--page-offset", type=lambda s: int(s, 0), default=0x240)
+    fp.add_argument("--filtered", action="store_true")
+    fp.add_argument("--window-ms", type=float, default=0.5,
+                    help="noise-mc exposure window per trial")
+    fp.add_argument("--hosts", type=int, default=256,
+                    help="dc-placement: simulated datacenter size")
+    fp.add_argument("--dc-seed", type=int, default=0,
+                    help="dc-placement: datacenter churn/placement seed")
+    fleet_common(fp)
+    fp.set_defaults(fn=cmd_fleet)
+
+    for verb, help_text in (
+        ("resume", "finish a run's pending shards"),
+        ("drain", "finish only started shards, then compact"),
+        ("status", "show run progress from disk"),
+        ("aggregate", "stream a run's store into aggregates"),
+    ):
+        fp = fleet_sub.add_parser(verb, help=help_text)
+        fp.add_argument("run", nargs="?" if verb == "status" else None,
+                        default=None if verb == "status" else argparse.SUPPRESS,
+                        help="run id (directory name or unique prefix)")
+        if verb == "status":
+            fp.add_argument("--verbose", action="store_true",
+                            help="list complete shards too")
+        if verb == "aggregate":
+            fp.add_argument("--verify-serial", action="store_true",
+                            help="re-run the campaign serially and require "
+                            "value-identical aggregates")
+        fleet_common(fp)
+        fp.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "fuzz",

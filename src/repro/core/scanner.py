@@ -121,19 +121,28 @@ def collect_labeled_traces(
     target_set_index: int,
     cfg: ScannerConfig,
     per_set: int = 3,
+    positive_reps: Optional[int] = None,
 ) -> Tuple[List[AccessTrace], List[int]]:
     """Ground-truth training collection: monitor each set, label by truth.
 
     The victim must already be running on the machine.  Labels use the
     simulator's ground truth, standing in for the paper's controlled-victim
     setup where the attacker mmaps the victim binary to learn the true set.
+
+    ``positive_reps`` oversamples the target set (default: ``per_set``).
+    With one target among many sets, ``per_set`` windows of a ~25%-duty
+    victim can easily all be idle, starving the positive class and
+    collapsing the SVM to "always negative"; the paper's offline phase
+    controls its victim and can balance classes freely, so so can we.
     """
     duration = cfg.trace_cycles(ctx.machine.cfg.clock_ghz)
+    if positive_reps is None:
+        positive_reps = per_set
     traces: List[AccessTrace] = []
     labels: List[int] = []
     for evset in evsets:
         label = 1 if ctx.true_set_of(evset.target_va) == target_set_index else 0
-        for _ in range(per_set):
+        for _ in range(positive_reps if label else per_set):
             monitor = ParallelProbing(ctx, evset)
             traces.append(monitor_set(monitor, duration))
             labels.append(label)

@@ -242,7 +242,17 @@ def _cli_bulk_page_offset(args) -> Campaign:
     return bulk_campaign(runs, name=f"bulk-pageoffset-{args.campaign_env}-{args.algo}")
 
 
+def _cli_noise_mc(args) -> Campaign:
+    # Lazy: repro.fleet imports repro.exec, so the dependency must point
+    # that way.  Serial `campaign --name noise-mc` is the parity oracle
+    # for the fleet's sharded runs of the same campaign.
+    from ..fleet.campaigns import _cli_noise_mc as build
+
+    return build(args)
+
+
 CLI_CAMPAIGNS = {
     "construction": _cli_construction,
     "bulk-pageoffset": _cli_bulk_page_offset,
+    "noise-mc": _cli_noise_mc,
 }

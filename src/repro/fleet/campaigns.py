@@ -1,0 +1,188 @@
+"""Fleet-scale campaign builders: cheap Monte-Carlo trials, placed trials.
+
+Fleet runs live or die by trial cost: a 100k-trial campaign of full
+eviction-set constructions is hours of compute, but the paper's
+*statistical* questions — survival probabilities under background noise,
+co-location odds, quiet-hours effects — reduce to trials that cost
+microseconds.  This module packages those:
+
+* :func:`noise_window_trial` — the exponential-survival Monte-Carlo at
+  the heart of Sections 4-6: monitor one SF set for a window ``W`` under
+  Poisson background rate ``r``; the set survives undisturbed with
+  probability ``exp(-rW)``.  One Poisson draw per trial.
+* :func:`placement_campaign` — the same trial, but each trial's rate
+  comes from a :class:`repro.fleet.datacenter.Datacenter` placement
+  (host occupancy x diurnal factor at the placed hour): sweeping
+  placement as a first-class campaign axis.
+
+Heavy trials (construction, end-to-end pairs) shard through the fleet
+unchanged — see ``CLI_CAMPAIGNS`` reuse in :mod:`repro.fleet.service`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from .._util import make_rng, poisson
+from ..config import NOISE_PRESETS
+from ..exec.spec import Campaign, dataclass_codec, seed_stream
+from .datacenter import Datacenter, DatacenterConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseWindowConfig:
+    """One noise-survival Monte-Carlo trial's parameters.
+
+    ``rate_per_ms`` is the background access rate on the monitored set
+    (the paper's Figure 2 metric); ``window_ms`` the exposure window
+    (one TestEviction / prime / probe).  ``host_id``/``hour`` are carried
+    through from placement so aggregates can be cut by them.
+    """
+
+    rate_per_ms: float
+    window_ms: float = 0.5
+    host_id: int = -1
+    hour: int = -1
+    co_located: bool = True
+
+
+@dataclasses.dataclass
+class NoiseWindowSample:
+    """One window's outcome: how often the set stayed clean."""
+
+    events: int
+    survived: bool
+    rate_per_ms: float
+
+
+def noise_window_trial(cfg: NoiseWindowConfig, seed: int) -> NoiseWindowSample:
+    """Draw one exposure window against the Poisson background.
+
+    ``survived`` (no foreign insertion in the window) is the event whose
+    probability decays exponentially with window duration — the property
+    every construction/monitoring result in the paper hinges on.
+    """
+    rng = make_rng(("noise-mc", seed))
+    lam = cfg.rate_per_ms * cfg.window_ms
+    events = poisson(rng, lam) if cfg.co_located else 0
+    return NoiseWindowSample(
+        events=events,
+        survived=(events == 0 and cfg.co_located),
+        rate_per_ms=cfg.rate_per_ms,
+    )
+
+
+def noise_mc_campaign(
+    env: str = "cloud",
+    trials: int = 100_000,
+    window_ms: float = 0.5,
+    base_seed: int = 0,
+    name: Optional[str] = None,
+) -> Campaign:
+    """A flat noise-survival campaign at one named environment's rate."""
+    noise = NOISE_PRESETS[env if env in NOISE_PRESETS else "cloud"]
+    cfg = NoiseWindowConfig(
+        rate_per_ms=noise.llc_accesses_per_ms_per_set, window_ms=window_ms
+    )
+    return Campaign.build(
+        name=name or f"noise-mc-{env}",
+        fn=noise_window_trial,
+        config=cfg,
+        trials=trials,
+        base_seed=base_seed,
+        codec=dataclass_codec(NoiseWindowSample),
+    )
+
+
+def placement_campaign(
+    datacenter: Optional[Datacenter] = None,
+    trials: int = 10_000,
+    window_ms: float = 0.5,
+    hours: Tuple[int, ...] = tuple(range(24)),
+    base_seed: int = 0,
+    name: str = "dc-placement",
+) -> Campaign:
+    """Noise-survival trials placed across the simulated datacenter.
+
+    Trial ``i`` gets placement ``i`` (host + hour, round-robin over
+    ``hours``); its background rate is that host's occupancy-and-diurnal
+    rate at that hour.  The resulting aggregate answers the paper's
+    quiet-hours question at fleet scale, and shard priorities can
+    schedule the quiet hours first (:func:`quiet_hours_priority`).
+    """
+    datacenter = datacenter or Datacenter(DatacenterConfig(), seed=base_seed)
+    configs = []
+    for placement in datacenter.placements(trials, hours=hours):
+        noise = datacenter.noise_at(placement.host_id, placement.hour)
+        configs.append(
+            NoiseWindowConfig(
+                rate_per_ms=noise.llc_accesses_per_ms_per_set,
+                window_ms=window_ms,
+                host_id=placement.host_id,
+                hour=placement.hour,
+                co_located=placement.co_located,
+            )
+        )
+    return Campaign(
+        name=name,
+        fn=noise_window_trial,
+        configs=tuple(configs),
+        seeds=seed_stream(base_seed, trials, tag=name),
+        codec=dataclass_codec(NoiseWindowSample),
+    )
+
+
+def quiet_hours_priority(campaign: Campaign, datacenter: Datacenter):
+    """Shard priority: dispatch shards with the quietest mean hour first.
+
+    Works on campaigns whose configs carry an ``hour`` (placement
+    campaigns); other shards keep equal priority.  Deterministic, so the
+    dispatch order is stable across resumes.
+    """
+    diurnal = datacenter.cfg.diurnal
+
+    def priority(shard) -> float:
+        factors = [
+            diurnal[cfg.hour % 24]
+            for cfg in campaign.configs[shard.lo : shard.hi]
+            if getattr(cfg, "hour", -1) >= 0
+        ]
+        if not factors:
+            return 1.0
+        return sum(factors) / len(factors)
+
+    return priority
+
+
+# -- CLI builders (python -m repro fleet submit / python -m repro campaign) --
+
+
+def _cli_noise_mc(args) -> Campaign:
+    return noise_mc_campaign(
+        env=getattr(args, "campaign_env", "cloud"),
+        trials=args.trials,
+        window_ms=getattr(args, "window_ms", 0.5),
+        base_seed=args.seed,
+    )
+
+
+def _cli_placement(args) -> Campaign:
+    datacenter = Datacenter(
+        DatacenterConfig(n_hosts=getattr(args, "hosts", 256)),
+        seed=getattr(args, "dc_seed", 0),
+    )
+    return placement_campaign(
+        datacenter,
+        trials=args.trials,
+        window_ms=getattr(args, "window_ms", 0.5),
+        base_seed=args.seed,
+    )
+
+
+#: Fleet-native campaign builders, merged with the generic CLI campaigns
+#: by repro.fleet.service.
+FLEET_CAMPAIGNS: Dict[str, object] = {
+    "noise-mc": _cli_noise_mc,
+    "dc-placement": _cli_placement,
+}

@@ -1,0 +1,229 @@
+"""A simulated datacenter: hundreds of FaaS hosts with churn and diurnal load.
+
+The paper's fleet-scale context (Sections 2.4, 4.3): attacker and victim
+containers land on multi-tenant hosts whose background activity comes
+from *other tenants* — a population that churns (instances come and go)
+and breathes with the time of day (the paper measured 3–5 am "quiet
+hours" and found them barely quieter: 11.1 vs 11.5 accesses/ms/set,
+EXPERIMENTS.md Table 3).  This module models that population cheaply:
+
+* each host carries a tenant count evolving as an M/M/∞-style birth-death
+  chain (Poisson arrivals, per-tenant exponential departures) stepped
+  hour by hour from a fixed seed — fully reproducible;
+* a 24-hour diurnal profile scales arrival pressure, calibrated so the
+  quiet-hours dip matches the paper's measured 11.1/11.5 ratio;
+* per-(host, hour) background noise reduces to a standard
+  :class:`repro.config.NoiseConfig`, so any campaign trial can run
+  "placed" on a datacenter host by just taking that config;
+* placement itself is a first-class knob: :meth:`Datacenter.place_pair`
+  deterministically assigns attacker/victim instances to hosts, and
+  :meth:`Datacenter.materialize_host` builds a real
+  :class:`repro.cloud.faas.Host` (full simulated machine) for exactly
+  the host a trial needs — the other hundreds stay bookkeeping-only.
+
+Placement bookkeeping is O(hosts); machines are materialized lazily, so
+a 512-host datacenter costs kilobytes until a trial runs on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .._util import make_rng, poisson
+from ..config import MachineConfig, NoiseConfig, cloud_run_noise, skylake_sp_small
+from ..errors import ConfigurationError
+
+#: The paper's quiet hours (3-5 am, local datacenter time).
+QUIET_HOURS = (3, 4)
+
+#: Diurnal arrival-pressure multipliers, hour 0..23.  Calibrated so the
+#: stationary quiet-hours load over hours 3-4 is ~11.1/11.5 of the daily
+#: peak-plateau load (EXPERIMENTS.md Table 3: 11.1 vs 11.5 acc/ms/set),
+#: i.e. the paper's finding that Cloud Run barely sleeps.
+DEFAULT_DIURNAL: Tuple[float, ...] = (
+    0.990, 0.980, 0.970, 0.965, 0.965, 0.975,  # 0-5: small nightly dip
+    0.985, 1.000, 1.000, 1.000, 1.000, 1.000,  # 6-11: daytime plateau
+    1.000, 1.000, 1.000, 1.000, 1.000, 1.000,  # 12-17
+    1.000, 1.000, 1.000, 0.995, 0.995, 0.990,  # 18-23
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DatacenterConfig:
+    """Shape of the simulated datacenter.
+
+    ``mean_tenants_per_host`` at ``per_tenant_rate`` reproduces the
+    paper's aggregate 11.5 accesses/ms/set at full occupancy;
+    ``churn_per_host_hour`` is the Poisson tenant arrival rate per host
+    (departure rate balances it at the stationary mean).
+    """
+
+    n_hosts: int = 256
+    cores_per_host: int = 4
+    mean_tenants_per_host: float = 8.0
+    churn_per_host_hour: float = 2.0
+    per_tenant_rate: float = cloud_run_noise().llc_accesses_per_ms_per_set / 8.0
+    sf_fraction: float = 0.8
+    preemption_rate_hz: float = 100.0
+    diurnal: Tuple[float, ...] = DEFAULT_DIURNAL
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ConfigurationError("need at least one host")
+        if len(self.diurnal) != 24:
+            raise ConfigurationError("diurnal profile needs 24 hourly factors")
+        if self.mean_tenants_per_host <= 0 or self.churn_per_host_hour < 0:
+            raise ConfigurationError("tenant population must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """One attacker/victim co-location decision, hour included.
+
+    The scheduling knob a campaign sweeps: *which* host and *when*
+    determine the noise floor the attack must survive.
+    """
+
+    host_id: int
+    hour: int
+    co_located: bool
+
+    def label(self) -> str:
+        return f"host-{self.host_id:04d}@{self.hour:02d}h"
+
+
+class Datacenter:
+    """Deterministic tenant-churn model over a fleet of simulated hosts."""
+
+    def __init__(
+        self,
+        cfg: Optional[DatacenterConfig] = None,
+        seed: int = 0,
+        machine_cfg: Optional[MachineConfig] = None,
+    ) -> None:
+        self.cfg = cfg or DatacenterConfig()
+        self.seed = seed
+        self.machine_cfg = machine_cfg or skylake_sp_small()
+        #: Per-host tenant-count trajectories, grown lazily hour by hour,
+        #: and the per-host RNGs that extend them.
+        self._trajectories: Dict[int, List[int]] = {}
+        self._rngs: Dict[int, object] = {}
+
+    # -- tenant churn ------------------------------------------------------
+
+    def tenants_at(self, host_id: int, hour: int) -> int:
+        """Tenant count on ``host_id`` at absolute hour ``hour``.
+
+        Hour 0 samples the stationary Poisson occupancy; every later
+        hour applies Poisson arrivals (diurnally scaled) and binomial
+        departures.  The chain for a host depends only on
+        ``(datacenter seed, host_id)``, so any (host, hour) query is
+        reproducible regardless of query order.
+        """
+        if not 0 <= host_id < self.cfg.n_hosts:
+            raise ConfigurationError(f"host {host_id} outside fleet")
+        if hour < 0:
+            raise ConfigurationError("hour must be non-negative")
+        traj = self._trajectories.get(host_id)
+        if traj is None:
+            rng = make_rng(("dc-churn", self.seed, host_id))
+            traj = [poisson(rng, self.cfg.mean_tenants_per_host)]
+            self._trajectories[host_id] = traj
+            self._rngs[host_id] = rng
+        rng = self._rngs[host_id]
+        while len(traj) <= hour:
+            h = (len(traj) - 1) % 24
+            n = traj[-1]
+            arrivals = poisson(
+                rng, self.cfg.churn_per_host_hour * self.cfg.diurnal[h]
+            )
+            # Per-tenant departure probability balancing arrivals at the
+            # stationary mean (M/M/inf discretized to one-hour steps).
+            p_leave = min(
+                1.0,
+                self.cfg.churn_per_host_hour / self.cfg.mean_tenants_per_host,
+            )
+            departures = sum(1 for _ in range(n) if rng.random() < p_leave)
+            traj.append(max(0, n + arrivals - departures))
+        return traj[hour]
+
+    # -- noise -------------------------------------------------------------
+
+    def noise_at(self, host_id: int, hour: int) -> NoiseConfig:
+        """The background-noise config a container on this host sees.
+
+        Rate = tenants x per-tenant rate x diurnal factor: both the
+        population and each tenant's activity breathe with the clock.
+        """
+        tenants = self.tenants_at(host_id, hour)
+        factor = self.cfg.diurnal[hour % 24]
+        return NoiseConfig(
+            name=f"dc-host{host_id}-h{hour % 24}",
+            llc_accesses_per_ms_per_set=(
+                tenants * self.cfg.per_tenant_rate * factor
+            ),
+            sf_fraction=self.cfg.sf_fraction,
+            preemption_rate_hz=self.preemption_rate(hour),
+        )
+
+    def preemption_rate(self, hour: int) -> float:
+        return self.cfg.preemption_rate_hz * self.cfg.diurnal[hour % 24]
+
+    def mean_rate_at(self, hour: int, sample_hosts: int = 32) -> float:
+        """Fleet-mean noise rate at ``hour`` over a deterministic sample."""
+        hosts = range(min(sample_hosts, self.cfg.n_hosts))
+        rates = [
+            self.noise_at(h, hour).llc_accesses_per_ms_per_set for h in hosts
+        ]
+        return sum(rates) / len(rates)
+
+    # -- placement ---------------------------------------------------------
+
+    def place_pair(self, key: int, hour: int = 12) -> Placement:
+        """Place one attacker/victim pair at ``hour``; keyed, reproducible.
+
+        Mirrors :class:`repro.cloud.faas.FaaSPlatform`'s random placement
+        (co-location via luck or prior work [111]): the attacker lands on
+        a random host; the victim lands on the same host with probability
+        proportional to that host's free capacity.
+        """
+        rng = make_rng(("dc-place", self.seed, key))
+        host_id = rng.randrange(self.cfg.n_hosts)
+        tenants = self.tenants_at(host_id, hour)
+        # 2 cores for the attacker pair (main + helper, Section 4.2);
+        # crowded hosts are less likely to fit the victim too.
+        free = max(0, self.cfg.cores_per_host - 2)
+        crowding = min(1.0, tenants / (2.0 * self.cfg.mean_tenants_per_host))
+        co_located = free > 0 and rng.random() > crowding
+        return Placement(host_id=host_id, hour=hour, co_located=co_located)
+
+    def placements(
+        self, n: int, hours: Optional[Tuple[int, ...]] = None
+    ) -> List[Placement]:
+        """``n`` keyed placements sweeping ``hours`` round-robin."""
+        hours = hours or tuple(range(24))
+        return [
+            self.place_pair(key, hour=hours[key % len(hours)])
+            for key in range(n)
+        ]
+
+    # -- materialization ---------------------------------------------------
+
+    def materialize_host(self, placement: Placement, seed: int = 0):
+        """A real :class:`repro.cloud.faas.Host` for one placement.
+
+        Builds the full simulated machine with the placement's noise
+        config — the expensive object only the trial that runs there
+        pays for.
+        """
+        from ..cloud.faas import Host
+
+        return Host(
+            name=f"dc-host-{placement.host_id:04d}",
+            machine_cfg=self.machine_cfg,
+            noise_cfg=self.noise_at(placement.host_id, placement.hour),
+            seed=make_rng(
+                ("dc-host-seed", self.seed, placement.host_id, seed)
+            ).getrandbits(32),
+        )

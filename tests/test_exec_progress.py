@@ -71,6 +71,38 @@ class TestProgressReporter:
         assert (snap.completed, snap.failed, snap.retried) == (0, 0, 0)
         assert reporter.label == "b"
 
+    def test_snapshot_line_carries_rate_and_eta(self):
+        reporter, _ = _reporter()
+        reporter.start("demo", total=4)
+        reporter.update(_record())
+        reporter.update(_record())
+        line = format_progress(reporter.snapshot(), label="demo")
+        assert "trials/s" in line
+        assert "ETA" in line
+        assert "(50%)" in line
+
+    def test_finish_line_carries_rate(self):
+        reporter, stream = _reporter()
+        reporter.start("demo", total=2)
+        reporter.update(_record())
+        reporter.update(_record())
+        reporter.finish(reporter.snapshot())
+        last = stream.getvalue().splitlines()[-1]
+        assert "trials/s" in last
+        assert "(100%)" in last
+
+    def test_zero_total_campaign_is_safe(self):
+        reporter, stream = _reporter()
+        reporter.start("empty", total=0)
+        metrics = reporter.snapshot()
+        assert metrics.percent_done == 100.0
+        assert metrics.remaining == 0
+        assert metrics.eta_s == 0.0
+        reporter.finish(metrics)
+        last = stream.getvalue().splitlines()[-1]
+        assert "0/0 trials (100%)" in last
+        assert "trials/s" in last
+
     def test_finish_marks_done(self):
         reporter, stream = _reporter()
         reporter.start("demo", total=1)

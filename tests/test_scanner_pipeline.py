@@ -112,7 +112,13 @@ class TestSegmentation:
 @pytest.fixture(scope="module")
 def fresh_attack_env():
     """A second, isolated environment for the end-to-end test (the shared
-    ``attack_env`` machine accumulates state from the scanner tests)."""
+    ``attack_env`` machine accumulates state from the scanner tests).
+
+    Training oversamples the positive class (``positive_reps=16``): with
+    one target set among 32 and a ~25% victim duty cycle, ``per_set=2``
+    gives the SVM two positive windows that are often both idle, and it
+    collapses to "always negative" (the root cause of the historical
+    xfail here — the scan could then never identify the target)."""
     machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=81)
     victim = EcdsaVictim(machine, core=2, cfg=VictimConfig(), seed=8)
     ctx = AttackerContext(machine, main_core=0, helper_core=1, seed=4)
@@ -124,7 +130,7 @@ def fresh_attack_env():
     victim.run_continuously(machine.now + 1000)
     scfg = ScannerConfig()
     traces, labels = collect_labeled_traces(
-        ctx, bulk.evsets, target_set, scfg, per_set=2
+        ctx, bulk.evsets, target_set, scfg, per_set=2, positive_reps=16
     )
     classifier = TargetSetClassifier(machine.clock_hz, scfg).fit(traces, labels)
     return machine, victim, ctx, bulk.evsets, target_set, classifier, scfg
@@ -132,13 +138,12 @@ def fresh_attack_env():
 
 @pytest.mark.slow
 class TestEndToEnd:
-    # Pre-existing at the seed commit (see CHANGES.md, PR 3); triaged in
-    # ISSUE 4: end-to-end recovery quality on the small fast-lane machine
-    # falls below the 0.5 recovered-fraction bar — an attack-quality
-    # tuning issue (trace count, classifier margins), not a regression,
-    # and not shallow enough to fix in a perf PR.
-    @pytest.mark.xfail(strict=False,
-                       reason="pre-existing at seed; triaged in ISSUE 4")
+    # De-xfailed in ISSUE 6.  Root cause of the seed failure: positive-
+    # class starvation in classifier training (2 positive vs 62 negative
+    # windows; both positives idle under the victim's ~25% duty cycle),
+    # so the SVM never fired and the scan timed out without identifying
+    # the target.  Cured by class-balanced training collection
+    # (collect_labeled_traces positive_reps) in the fixture above.
     def test_full_attack_recovers_nonce_bits(self, fresh_attack_env):
         """The Section 7.3 headline: most nonce bits, few errors."""
         machine, victim, ctx, evsets, target_set, classifier, scfg = (
