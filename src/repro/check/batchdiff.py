@@ -1,0 +1,103 @@
+"""Batch-vs-serial differential replay: guard the fifth execution tier.
+
+The trial-batch tier (:mod:`repro.memsys.batchplane`) promises that a
+trial run on a :class:`~repro.memsys.batchplane.BatchSession` lane thread
+is bit-identical to the same trial run alone: same per-op records, same
+final machine digest (which folds in the clock, noise log, policy state,
+and every RNG's ``getstate()``).  The golden parity suites pin a few
+scenarios; this module *searches*, reusing the fuzz trace grammar:
+
+1. generate seeded attack-shaped traces (:func:`repro.check.fuzz.generate_trace`),
+2. replay each trace on the lanes tier twice — once serially, once as a
+   lane of a batched group — and
+3. diff the two full run records per seed with
+   :func:`repro.check.digest.diff_keys`.
+
+Only the lanes tier is batched: the other tiers' guards
+(``kernels_disabled()`` / ``lanes_disabled()`` / the reference cache
+swap) toggle module globals and are not thread-safe, and the batch tier
+only ever dispatches down the lanes path in production.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .digest import diff_keys
+from .fuzz import FuzzConfig, generate_trace, run_trace
+
+#: The tier a batched lane resolves to (and is diffed against).
+BATCH_BASE_TIER = "lanes"
+
+
+def _run_record(trace: Dict[str, Any], check_invariants: bool) -> Dict[str, Any]:
+    return run_trace(trace, BATCH_BASE_TIER, check_invariants=check_invariants)
+
+
+def batch_vs_serial(
+    cfg: FuzzConfig,
+    seeds: Sequence[int],
+    batch: int,
+    check_invariants: bool = True,
+) -> Dict[str, Any]:
+    """Replay every seeded trace serially and batched; diff per seed.
+
+    Returns a summary dict: ``ok`` is True iff every seed's batched run
+    is bit-identical to its serial run (records, digest, invariant
+    verdict, and check count) and no run raised.
+    """
+    from ..memsys.batchplane import BatchSession, batch_supported
+
+    if batch < 2:
+        raise ValueError(f"batch must be >= 2 to differ, got {batch}")
+    seeds = list(seeds)
+    traces = {seed: generate_trace(cfg, seed) for seed in seeds}
+
+    serial = {
+        seed: _run_record(traces[seed], check_invariants) for seed in seeds
+    }
+
+    batched: Dict[int, Any] = {}
+    errors: Dict[int, str] = {}
+    if batch_supported():
+        for start in range(0, len(seeds), batch):
+            group = seeds[start : start + batch]
+            session = BatchSession(
+                [
+                    (lambda s=s: _run_record(traces[s], check_invariants))
+                    for s in group
+                ]
+            )
+            for seed, outcome in zip(group, session.run()):
+                if outcome.error is not None:
+                    errors[seed] = (
+                        f"{type(outcome.error).__name__}: {outcome.error}"
+                    )
+                else:
+                    batched[seed] = outcome.value
+    else:
+        # No numpy / batching disabled: the tier falls back to serial by
+        # construction, so the differ degenerates to a self-comparison.
+        batched = {
+            seed: _run_record(traces[seed], check_invariants) for seed in seeds
+        }
+
+    diffs: Dict[int, List[str]] = {}
+    for seed in seeds:
+        if seed in errors:
+            continue
+        delta = diff_keys(serial[seed], batched[seed])
+        if delta:
+            diffs[seed] = delta[:8]
+    checks = sum(run["checks"] for run in serial.values())
+    return {
+        "seeds": len(seeds),
+        "batch": batch,
+        "tier": BATCH_BASE_TIER,
+        "batch_supported": batch_supported(),
+        "checks": checks,
+        "divergent": sorted(diffs),
+        "diffs": {seed: diffs[seed] for seed in sorted(diffs)},
+        "errors": {seed: errors[seed] for seed in sorted(errors)},
+        "ok": not diffs and not errors,
+    }

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .._util import make_rng, median, spawn_rng
 from ..config import LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from ..errors import ConfigurationError
+from ..memsys import batchplane
 from ..memsys.kernels import AttackKernels, PlaneRows, TranslationPlane
 from ..memsys.lanes import LaneKernels
 from ..memsys.machine import Machine
@@ -122,12 +123,29 @@ class AttackerContext:
         return kernels
 
     def lane_kernels(self) -> LaneKernels:
-        """The lane-specialized kernel bundle (lazy singleton)."""
+        """The lane-specialized kernel bundle (lazy singleton).
+
+        Inside a :class:`repro.memsys.batchplane.BatchSession` lane
+        thread this resolves to a session-bound
+        :class:`~repro.memsys.batchplane.BatchLaneKernels` instead, so
+        the trial's planned operations rendezvous with its batch.  The
+        context must be used on the thread that first called this (the
+        batch executor creates one context per trial per lane thread).
+        """
         kernels = self._lane_kernels
         if kernels is None:
-            kernels = self._lane_kernels = LaneKernels(
-                self.machine, self._plane, self.main_core, self.helper_core
-            )
+            slot = batchplane.current_slot()
+            if slot is not None:
+                kernels = batchplane.BatchLaneKernels(
+                    self.machine, self._plane, self.main_core,
+                    self.helper_core, slot=slot,
+                )
+            else:
+                kernels = LaneKernels(
+                    self.machine, self._plane, self.main_core,
+                    self.helper_core,
+                )
+            self._lane_kernels = kernels
         return kernels
 
     def invalidate_translations(self) -> None:

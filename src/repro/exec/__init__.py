@@ -45,6 +45,7 @@ from .executor import (
     TrialTimeout,
     default_jobs,
     run_campaign,
+    run_trial_batch,
 )
 from .journal import DEFAULT_JOURNAL_DIR, CampaignJournal
 from .progress import ProgressReporter
@@ -80,6 +81,7 @@ __all__ = [
     "default_jobs",
     "grid_campaign",
     "run_campaign",
+    "run_trial_batch",
     "seed_stream",
     "summarize_construction_samples",
 ]

@@ -53,11 +53,19 @@ class ExecPolicy:
     ``jobs=None`` means one worker per available core.  ``timeout_s`` is
     the per-trial budget (None = unlimited).  ``max_retries`` bounds how
     many times a trial may be resubmitted after worker crashes.
+    ``batch`` groups trials into in-process lockstep batches (see
+    :mod:`repro.memsys.batchplane`): ``None`` defers to the
+    ``REPRO_BATCH`` environment variable, and any value resolves back to
+    serial when numpy is absent or a per-trial timeout is requested
+    (``SIGALRM`` cannot interrupt lane threads).  With ``jobs > 1`` a
+    whole batch becomes the pool-task unit, amortizing submit/pickle
+    overhead across its trials.
     """
 
     jobs: Optional[int] = 1
     timeout_s: Optional[float] = None
     max_retries: int = 1
+    batch: Optional[int] = None
 
     def resolved_jobs(self) -> int:
         if self.jobs is None:
@@ -65,6 +73,15 @@ class ExecPolicy:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         return self.jobs
+
+    def resolved_batch(self) -> int:
+        """Trials per lockstep batch; ``None`` defers to ``REPRO_BATCH``."""
+        batch = self.batch
+        if batch is None:
+            batch = int(os.environ.get("REPRO_BATCH", "1") or 1)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return batch
 
 
 def default_jobs() -> int:
@@ -180,6 +197,45 @@ def _pool_worker(spec: TrialSpec, timeout_s: Optional[float]) -> TrialResult:
     return _execute_spec(spec, timeout_s)
 
 
+def run_trial_batch(
+    specs: List[TrialSpec], timeout_s: Optional[float] = None
+) -> List[TrialResult]:
+    """Run ``specs`` as one in-process lockstep batch; one record each.
+
+    Each trial executes on its own lane thread of a
+    :class:`~repro.memsys.batchplane.BatchSession`, so its machine,
+    RNG streams, and clock are untouched by its batch-mates and the
+    records are bit-identical to a serial loop over the same specs.
+    Falls back to a plain serial loop when batching is unsupported.
+    """
+    from ..memsys import batchplane
+
+    thunks = [(lambda s=s: _execute_spec(s, timeout_s)) for s in specs]
+    records = []
+    for spec, outcome in zip(specs, batchplane.run_batched(thunks)):
+        record = outcome.value
+        if record is None:  # skipped lane / non-Exception escape
+            record = TrialResult(
+                index=spec.index,
+                seed=spec.seed,
+                status="failed",
+                error=f"{type(outcome.error).__name__}: {outcome.error}",
+            )
+        records.append(record)
+    return records
+
+
+def _pool_worker_batch(
+    specs: List[TrialSpec], timeout_s: Optional[float]
+) -> List[TrialResult]:
+    """Top-level pool entry point for one batched group of trials."""
+    return run_trial_batch(specs, timeout_s)
+
+
+def _chunk_specs(specs: List[TrialSpec], batch: int) -> List[List[TrialSpec]]:
+    return [specs[i : i + batch] for i in range(0, len(specs), batch)]
+
+
 def _mp_context():
     """Prefer fork so benchmark-module trial functions resolve in workers."""
     methods = multiprocessing.get_all_start_methods()
@@ -188,21 +244,86 @@ def _mp_context():
     return None
 
 
+#: Sentinel: an isolated final attempt's own pool died — the group is
+#: definitively the crasher, not collateral of a pool-mate.
+_CRASHED = object()
+
+
 class _ParallelRun:
-    """One parallel drain of a set of specs, with crash recovery."""
+    """One parallel drain of a set of specs, with crash recovery.
+
+    The dispatch unit is a *group* of specs: one spec per task in the
+    default ``batch == 1`` mode (submitted through ``_pool_worker``,
+    byte-identical to the historical path), or a lockstep batch of up to
+    ``batch`` specs (submitted through ``_pool_worker_batch``).  Crash
+    retry bookkeeping is per group — a worker death re-runs the whole
+    group, which is sound because trials are pure functions of their
+    specs.
+    """
 
     def __init__(
-        self, policy: ExecPolicy, emit: Callable[[TrialResult, Optional[int]], None]
+        self,
+        policy: ExecPolicy,
+        emit: Callable[[TrialResult, Optional[int]], None],
+        batch: int = 1,
     ):
         self.policy = policy
         self.emit = emit
+        self.batch = batch
         self.restarts = 0
         self.retried = 0
 
+    def _submit(self, pool, group: List[TrialSpec]):
+        if self.batch > 1:
+            return pool.submit(_pool_worker_batch, group, self.policy.timeout_s)
+        return pool.submit(_pool_worker, group[0], self.policy.timeout_s)
+
+    def _emit_group(
+        self, group: List[TrialSpec], result, attempts: int
+    ) -> None:
+        records = result if isinstance(result, list) else [result]
+        for record in records:
+            self.emit(record, attempts)
+
+    def _final_attempt(self, group: List[TrialSpec]):
+        """Re-run an out-of-retries group alone in a one-worker pool.
+
+        A broken shared pool cannot say *which* group killed the worker:
+        every in-flight future reports ``BrokenProcessPool``, so the
+        culprit and its innocent pool-mates are indistinguishable.
+        Condemning on that evidence alone intermittently marks healthy
+        trials crashed.  Because trials are pure functions of their
+        specs, the final charged attempt can instead be re-executed in
+        isolation, where a breakage convicts this group and this group
+        only.  Returns the group's records, ``_CRASHED`` if the
+        isolated pool died too, or ``None`` if no pool could be made
+        (caller falls back to the historical verdict).
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+        except (OSError, ValueError, PermissionError):
+            return None
+        try:
+            with pool:
+                return self._submit(pool, group).result()
+        except (BrokenProcessPool, OSError, RuntimeError):
+            return _CRASHED
+        except Exception as exc:  # noqa: BLE001 - worker-raised, pool healthy
+            return [
+                TrialResult(
+                    index=spec.index,
+                    seed=spec.seed,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                for spec in group
+            ]
+
     def run(self, specs: List[TrialSpec]) -> List[TrialSpec]:
         """Execute specs; returns specs left over if no pool could be made."""
-        pending: Dict[int, TrialSpec] = {s.index: s for s in specs}
-        attempts: Dict[int, int] = {s.index: 0 for s in specs}
+        groups = _chunk_specs(specs, self.batch)
+        pending: Dict[int, List[TrialSpec]] = {g[0].index: g for g in groups}
+        attempts: Dict[int, int] = {key: 0 for key in pending}
         jobs = self.policy.resolved_jobs()
         while pending:
             try:
@@ -210,25 +331,21 @@ class _ParallelRun:
                     max_workers=min(jobs, len(pending)), mp_context=_mp_context()
                 )
             except (OSError, ValueError, PermissionError):
-                return list(pending.values())
+                return [s for g in pending.values() for s in g]
             broken = False
             try:
                 with pool:
                     futures = {}
                     try:
-                        for spec in pending.values():
-                            attempts[spec.index] += 1
-                            if attempts[spec.index] > 1:
-                                self.retried += 1
-                            futures[
-                                pool.submit(
-                                    _pool_worker, spec, self.policy.timeout_s
-                                )
-                            ] = spec
+                        for key, group in pending.items():
+                            attempts[key] += 1
+                            if attempts[key] > 1:
+                                self.retried += len(group)
+                            futures[self._submit(pool, group)] = key
                     except (OSError, RuntimeError, BrokenProcessPool):
                         # Worker processes could not be spawned at all.
                         if not futures:
-                            return list(pending.values())
+                            return [s for g in pending.values() for s in g]
                         broken = True
                     not_done = set(futures)
                     while not_done and not broken:
@@ -236,55 +353,68 @@ class _ParallelRun:
                             not_done, return_when=FIRST_COMPLETED
                         )
                         for future in done:
-                            spec = futures[future]
+                            key = futures[future]
+                            group = pending.get(key, [])
                             try:
-                                record = future.result()
+                                result = future.result()
                             except BrokenProcessPool:
                                 broken = True
                                 continue
                             except Exception as exc:  # noqa: BLE001
-                                record = TrialResult(
-                                    index=spec.index,
-                                    seed=spec.seed,
-                                    status="failed",
-                                    error=f"{type(exc).__name__}: {exc}",
-                                )
-                            self.emit(record, attempts[spec.index])
-                            pending.pop(spec.index, None)
+                                result = [
+                                    TrialResult(
+                                        index=spec.index,
+                                        seed=spec.seed,
+                                        status="failed",
+                                        error=f"{type(exc).__name__}: {exc}",
+                                    )
+                                    for spec in group
+                                ]
+                            self._emit_group(group, result, attempts[key])
+                            pending.pop(key, None)
                     if broken:
                         # Let any still-healthy workers finish, then harvest
                         # every result that landed before the breakage so it
                         # is not re-executed after the restart.
                         pool.shutdown(wait=True)
-                        for future, spec in futures.items():
-                            if spec.index not in pending or not future.done():
+                        for future, key in futures.items():
+                            if key not in pending or not future.done():
                                 continue
                             try:
-                                record = future.result()
+                                result = future.result()
                             except Exception:  # noqa: BLE001
                                 continue
-                            self.emit(record, attempts[spec.index])
-                            pending.pop(spec.index, None)
+                            self._emit_group(pending[key], result, attempts[key])
+                            pending.pop(key, None)
             except BrokenProcessPool:
                 broken = True
             if broken:
                 self.restarts += 1
-                for index, spec in list(pending.items()):
-                    if attempts[index] > self.policy.max_retries:
-                        self.emit(
-                            TrialResult(
-                                index=index,
-                                seed=spec.seed,
-                                status="crashed",
-                                error=(
-                                    "worker process died; retries exhausted "
-                                    f"after {attempts[index]} attempts"
+                for key, group in list(pending.items()):
+                    if attempts[key] <= self.policy.max_retries:
+                        continue  # gets another shared round
+                    verdict = self._final_attempt(group)
+                    if verdict is _CRASHED:
+                        self.restarts += 1
+                    if verdict is _CRASHED or verdict is None:
+                        for spec in group:
+                            self.emit(
+                                TrialResult(
+                                    index=spec.index,
+                                    seed=spec.seed,
+                                    status="crashed",
+                                    error=(
+                                        "worker process died; retries "
+                                        f"exhausted after {attempts[key]} "
+                                        "attempts"
+                                    ),
+                                    attempts=attempts[key],
                                 ),
-                                attempts=attempts[index],
-                            ),
-                            attempts[index],
-                        )
-                        pending.pop(index)
+                                attempts[key],
+                            )
+                    else:
+                        self._emit_group(group, verdict, attempts[key])
+                    pending.pop(key)
         return []
 
 
@@ -336,16 +466,31 @@ def run_campaign(
             journal.append(record)
         reporter.update(record)
 
+    batch = policy.resolved_batch()
+    if batch > 1:
+        from ..memsys.batchplane import batch_supported
+
+        # SIGALRM timeouts only fire on a main thread, so a timeout
+        # budget forces per-trial dispatch; no numpy means no lanes to
+        # rendezvous, so batching would only add thread overhead.
+        if policy.timeout_s is not None or not batch_supported():
+            batch = 1
+
     restarts = retried = 0
     leftover = pending
     if pending and policy.resolved_jobs() > 1 and len(pending) > 1:
-        run = _ParallelRun(policy, emit)
+        run = _ParallelRun(policy, emit, batch=batch)
         leftover = run.run(pending)
         restarts, retried = run.restarts, run.retried
 
     # Serial path: jobs == 1, a single pending trial, or pool unavailable.
-    for spec in leftover:
-        emit(_execute_spec(spec, policy.timeout_s))
+    if batch > 1:
+        for group in _chunk_specs(leftover, batch):
+            for record in run_trial_batch(group, policy.timeout_s):
+                emit(record)
+    else:
+        for spec in leftover:
+            emit(_execute_spec(spec, policy.timeout_s))
 
     elapsed = time.perf_counter() - started
     ordered = tuple(records[i] for i in sorted(records))

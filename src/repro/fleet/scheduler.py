@@ -48,8 +48,11 @@ class FleetPolicy:
     ``jobs_per_shard`` sizes each shard's process pool (CPU fan-out);
     ``max_inflight`` bounds concurrently executing shards (pipeline
     overlap); ``queue_depth`` / ``result_buffer`` bound the dispatch and
-    results queues (backpressure).  ``stop_after_shards`` is an ops/test
-    knob: drain gracefully once that many shards finished this run.
+    results queues (backpressure).  ``batch`` groups each shard's trials
+    into lockstep batches (``None`` defers to ``REPRO_BATCH``; see
+    :class:`repro.exec.ExecPolicy`), making the shard the natural batch
+    axis.  ``stop_after_shards`` is an ops/test knob: drain gracefully
+    once that many shards finished this run.
     """
 
     shard_size: int = DEFAULT_SHARD_SIZE
@@ -62,6 +65,7 @@ class FleetPolicy:
     timeout_s: Optional[float] = None
     trial_retries: int = 1
     flush_every: int = 64
+    batch: Optional[int] = None
     stop_after_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -168,6 +172,7 @@ class FleetScheduler:
                     jobs=self.policy.jobs_per_shard,
                     timeout_s=self.policy.timeout_s,
                     max_retries=self.policy.trial_retries,
+                    batch=self.policy.batch,
                 ),
                 journal=journal,
             )

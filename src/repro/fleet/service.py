@@ -103,6 +103,7 @@ def policy_from_args(args) -> FleetPolicy:
         shard_retries=args.shard_retries,
         timeout_s=args.timeout_s,
         flush_every=args.flush_every,
+        batch=args.batch,
         stop_after_shards=args.stop_after_shards,
     )
 

@@ -10,6 +10,14 @@ The public entry point is :class:`repro.memsys.machine.Machine`.
 """
 
 from .address import AddressSpace, line_address, page_offset
+from .batchplane import (
+    BatchLaneKernels,
+    BatchSession,
+    batch_disabled,
+    batch_supported,
+    run_batched,
+    stack_shared_planes,
+)
 from .cache import SetAssociativeCache
 from .hierarchy import CacheHierarchy, Level, NOISE_OWNER
 from .kernels import AttackKernels, PlaneRows, TranslationPlane, kernels_disabled
@@ -21,6 +29,8 @@ from .slice_hash import ComplexSliceHash, LinearSliceHash, make_slice_hash
 __all__ = [
     "AddressSpace",
     "AttackKernels",
+    "BatchLaneKernels",
+    "BatchSession",
     "CacheHierarchy",
     "ComplexSliceHash",
     "HAVE_NUMPY",
@@ -32,8 +42,12 @@ __all__ = [
     "PlaneRows",
     "SetAssociativeCache",
     "TranslationPlane",
+    "batch_disabled",
+    "batch_supported",
     "kernels_disabled",
     "lanes_disabled",
+    "run_batched",
+    "stack_shared_planes",
     "line_address",
     "make_policy",
     "make_slice_hash",

@@ -1,0 +1,472 @@
+"""Trial-batch tier: step N independent trials in lockstep (DESIGN.md §2.6).
+
+Campaigns run thousands of independent trials whose RNG streams never
+interact.  PR 4 proved that numpy execution *within* one trial is
+impossible under the per-access RNG-order bit-parity contract (evset
+rows are set-congruent; victims and stamps chain row to row), so the
+remaining structural axis is *between* trials: run a batch of N trial
+functions in lockstep over one interpreter, rendezvous them at the lane
+kernels' two heavy operations (``flush_rows`` / ``traverse_kernel``),
+and hand each rendezvous *group* to one coordinator that may execute
+compatible operations across the batch as stacked-plane array ops.
+
+The machinery here is three pieces:
+
+* :class:`BatchSession` — the lockstep driver.  Each trial runs on its
+  own worker thread; a thread reaching a lane operation *parks* the
+  operation and blocks.  The coordinator waits until every live trial
+  is parked (or finished — the **active mask**: trials that return or
+  raise simply leave the barrier, so a batch of structurally divergent
+  trials degrades gracefully instead of deadlocking), executes the
+  parked group, and releases the threads.  A poll bound keeps a trial
+  stuck in a long non-parkable phase (monitor loops, candidate
+  generation) from stalling the rest of the batch: after ``poll_s`` the
+  coordinator executes whatever is parked.  Grouping never changes
+  results — only which interpreter executes an op — so the schedule is
+  free to be timing-dependent while every trial stays bit-identical to
+  its serial run.
+* :class:`BatchLaneKernels` — the :class:`~repro.memsys.lanes.LaneKernels`
+  sibling a trial's context hands out inside a session.  On the trial's
+  own thread it parks; re-entered from the coordinator (or from any
+  foreign thread) it behaves exactly like its parent, which is what
+  makes bit-parity structural rather than re-proved: the group executor
+  runs the *same* plan-specialized sweeps, per trial, in each trial's
+  own per-access RNG/clock/noise order.
+* :func:`stack_shared_planes` — the ``(N, sets, ways)`` stacked view of
+  a batch's flat tag/owner/policy-state planes.  The parity suites and
+  the batch-vs-serial differ compare entire stacked planes elementwise,
+  a strictly stronger check than the digest alone.
+
+Why the group executor is per-trial serial and not one fused numpy op
+per plan step: we measured it (see DESIGN.md §2.6).  In the profiled
+construction workload every sweep step is one SF fill + one L2 fill +
+one L1 fill, and at steady state roughly half of the fills evict — each
+eviction drawing from the trial's hierarchy RNG (reuse predictor, L2
+victim disposition) and possibly reconciling per-set noise clocks
+(Poisson draws in first-touch order).  A cross-trial vectorized step
+therefore needs a scalar per-trial escape on nearly every step, and the
+escapes mutate the same tag/stamp planes the vectorized phase would
+operate on.  The measured ceiling of the remaining vectorizable phase
+(victim argmin + stamp writes, ~0.9µs of a ~4µs step) is below the
+gather/scatter and masking cost at realistic batch widths, so the
+honest fast path *is* the serial lane sweep — batching buys one
+interpreter, one numpy import, and one set of compiled plans per N
+trials instead of per process, not SIMD arithmetic.  The rendezvous
+architecture keeps the vectorized-group hook in place
+(:meth:`BatchSession._execute_group`) for workloads whose ops do
+qualify.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .kernels import PlaneRows
+from .lanes import HAVE_NUMPY, LaneKernels
+
+try:  # pragma: no cover - exercised via the REPRO_NO_NUMPY CI leg
+    import numpy as np
+except Exception:  # noqa: BLE001 - any import failure means "no numpy"
+    np = None
+
+#: Master switch (tests use :func:`batch_disabled`; ``REPRO_NO_BATCH=1``
+#: disables the tier for a whole process, mirroring ``REPRO_NO_NUMPY``).
+BATCH_ENABLED = True
+
+#: How long the coordinator waits for a full rendezvous before running a
+#: partial group (seconds).  Purely a latency/grouping trade-off: results
+#: are identical for any value.
+DEFAULT_POLL_S = 0.005
+
+_RUNNING, _PARKED, _EXECUTING, _DONE = 0, 1, 2, 3
+
+_tls = threading.local()
+
+
+@contextmanager
+def batch_disabled():
+    """Force the batch tier off inside the block (callers fall back)."""
+    global BATCH_ENABLED
+    saved = BATCH_ENABLED
+    BATCH_ENABLED = False
+    try:
+        yield
+    finally:
+        BATCH_ENABLED = saved
+
+
+def batch_supported() -> bool:
+    """Whether this process can run lockstep batches at all.
+
+    The batch tier is the lanes tier's sibling — without numpy there are
+    no lane plans to batch, so executors must fall back to serial.
+    """
+    return (
+        HAVE_NUMPY
+        and BATCH_ENABLED
+        and not os.environ.get("REPRO_NO_BATCH")
+    )
+
+
+def current_slot() -> Optional["_Slot"]:
+    """The calling thread's session slot, if it is a batch lane thread."""
+    slot = getattr(_tls, "slot", None)
+    if slot is not None and not slot.session.active:
+        return None
+    return slot
+
+
+class _ParkedOp:
+    """One lane operation awaiting the coordinator."""
+
+    __slots__ = ("kind", "args", "result", "error", "done")
+
+    def __init__(self, kind: str, args: tuple) -> None:
+        self.kind = kind
+        self.args = args
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+
+
+class _Slot:
+    """One trial's seat in a session (thread + lockstep state)."""
+
+    __slots__ = ("session", "index", "thunk", "thread", "state", "op",
+                 "value", "error", "executing")
+
+    def __init__(self, session: "BatchSession", index: int, thunk) -> None:
+        self.session = session
+        self.index = index
+        self.thunk = thunk
+        self.thread: Optional[threading.Thread] = None
+        self.state = _RUNNING
+        self.op: Optional[_ParkedOp] = None
+        self.value = None
+        self.error: Optional[BaseException] = None
+        # True while this slot's thread is executing a rendezvous group:
+        # nested kernel entries (AttackKernels.traverse_kernel calls
+        # self.flush_rows virtually) must run inline, not re-park.
+        self.executing = False
+
+
+class TrialOutcome:
+    """What one batched trial produced: a value or the exception it raised."""
+
+    __slots__ = ("index", "value", "error")
+
+    def __init__(self, index: int, value, error: Optional[BaseException]) -> None:
+        self.index = index
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BatchSession:
+    """Run N independent trial thunks in lockstep on one interpreter.
+
+    ``thunks`` are zero-argument callables (one per trial).  Each runs on
+    its own worker thread; inside a thunk,
+    :meth:`repro.core.context.AttackerContext.lane_kernels` resolves to a
+    :class:`BatchLaneKernels` bound to this session, so the trial's lane
+    operations rendezvous here.  :meth:`run` returns one
+    :class:`TrialOutcome` per thunk, in order.
+
+    Observability: ``rounds`` counts coordinator releases, ``parked_ops``
+    the operations that went through the rendezvous, and ``peak_group``
+    the largest group executed in one round — the measure of how much of
+    the batch actually overlaps in lockstep.
+    """
+
+    def __init__(
+        self,
+        thunks: Sequence[Callable[[], object]],
+        poll_s: float = DEFAULT_POLL_S,
+        gather: bool = False,
+    ) -> None:
+        self._cv = threading.Condition()
+        self._slots = [_Slot(self, i, t) for i, t in enumerate(thunks)]
+        self._poll_s = poll_s
+        self._gather = gather
+        self.active = False
+        self.rounds = 0
+        self.parked_ops = 0
+        self.peak_group = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    # -- lane side -----------------------------------------------------------
+
+    def park(self, slot: _Slot, kind: str, args: tuple):
+        """Hand one lane op to the rendezvous; block until it ran.
+
+        The *last* thread to reach the barrier executes the whole group
+        itself — it already holds the GIL, so the common full-rendezvous
+        round costs no coordinator handoff.  Earlier arrivals just wait
+        for their result.
+        """
+        op = _ParkedOp(kind, args)
+        with self._cv:
+            slot.op = op
+            slot.state = _PARKED
+            if self._all_at_barrier():
+                group = self._claim_group()
+            elif not self._gather:
+                # Eager mode: the barrier is incomplete and stalling here
+                # would trade real work for group size with nothing to
+                # vectorize yet — run own op now, keep the accounting.
+                slot.state = _EXECUTING
+                group = [slot]
+            else:
+                group = None
+                self._cv.notify_all()
+        if group is not None:
+            self._run_group(group, me=slot)
+        else:
+            op.done.wait()
+        if op.error is not None:
+            raise op.error
+        return op.result
+
+    def _claim_group(self) -> List[_Slot]:
+        """Take ownership of every parked slot (caller holds the lock)."""
+        group = [s for s in self._slots if s.state == _PARKED]
+        for s in group:
+            s.state = _EXECUTING
+        return group
+
+    def _run_group(self, group: List[_Slot], me: Optional[_Slot]) -> None:
+        """Execute a claimed group and release its waiters."""
+        if me is not None:
+            me.executing = True
+        try:
+            self._execute_group([s.op for s in group])
+        finally:
+            if me is not None:
+                me.executing = False
+        with self._cv:
+            for s in group:
+                op, s.op = s.op, None
+                s.state = _RUNNING
+                if s is not me:
+                    op.done.set()
+
+    def _lane_main(self, slot: _Slot) -> None:
+        _tls.slot = slot
+        try:
+            slot.value = slot.thunk()
+        except BaseException as exc:  # noqa: BLE001 - recorded per trial
+            slot.error = exc
+        finally:
+            _tls.slot = None
+            group = None
+            with self._cv:
+                slot.state = _DONE
+                # A finishing trial shrinks the active mask and may be
+                # the last arrival at the barrier; release the others
+                # here rather than waiting for the fallback poll.
+                if self._all_at_barrier():
+                    group = self._claim_group()
+                self._cv.notify_all()
+            if group:
+                self._run_group(group, me=None)
+
+    # -- coordinator side -----------------------------------------------------
+
+    def run(self) -> List[TrialOutcome]:
+        """Drive every trial to completion; outcomes in thunk order."""
+        if self.active:
+            raise RuntimeError("BatchSession.run() is not reentrant")
+        self.active = True
+        # Lane threads are CPU-bound pure Python and (in eager mode)
+        # never block on each other, so frequent GIL handoffs are pure
+        # convoy overhead.  Stretch the switch interval for the run.
+        old_switch = sys.getswitchinterval()
+        sys.setswitchinterval(max(old_switch, 0.2))
+        try:
+            for slot in self._slots:
+                slot.thread = threading.Thread(
+                    target=self._lane_main,
+                    args=(slot,),
+                    name=f"batch-lane-{slot.index}",
+                    daemon=True,
+                )
+                slot.thread.start()
+            # The main thread is only the stall fallback: full rendezvous
+            # groups execute on the last-parking lane thread (no GIL
+            # handoff); this loop releases partial groups when one trial
+            # sits in a long non-parkable phase, and reaps completion.
+            while True:
+                with self._cv:
+                    if all(s.state == _DONE for s in self._slots):
+                        break
+                    notified = self._cv.wait(self._poll_s)
+                    # Claim only on a quiet timeout: a notify means the
+                    # barrier is still forming (parks claim it themselves
+                    # when complete), so grabbing a partial group here
+                    # would shrink rendezvous groups for no latency win.
+                    group = [] if notified else self._claim_group()
+                if group:
+                    self._run_group(group, me=None)
+            for slot in self._slots:
+                slot.thread.join()
+        finally:
+            sys.setswitchinterval(old_switch)
+            self.active = False
+        for slot in self._slots:
+            if slot.error is not None and not isinstance(slot.error, Exception):
+                raise slot.error  # KeyboardInterrupt etc: behave like serial
+        return [TrialOutcome(s.index, s.value, s.error) for s in self._slots]
+
+    def _all_at_barrier(self) -> bool:
+        return all(s.state != _RUNNING for s in self._slots)
+
+    def _execute_group(self, ops: List[_ParkedOp]) -> None:
+        """Execute one rendezvous group on the coordinator thread.
+
+        This is the stacked-plane vectorization hook: compatible ops
+        across trials arrive here together, and an executor is free to
+        run them as one array op per plan step.  On the current
+        workloads the per-access RNG/noise coupling leaves no profitable
+        vectorized group (module docstring), so each op runs through the
+        trial's own serial lane kernels — the explicit parent-class call
+        cannot re-park, and bit-parity per trial is inherited rather
+        than re-implemented.
+        """
+        self.rounds += 1
+        self.parked_ops += len(ops)
+        self.peak_group = max(self.peak_group, len(ops))
+        for op in ops:
+            try:
+                if op.kind == "flush":
+                    op.result = LaneKernels.flush_rows(*op.args)
+                else:
+                    op.result = LaneKernels.traverse_kernel(*op.args)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in lane
+                op.error = exc
+
+
+def run_batched(
+    thunks: Sequence[Callable[[], object]],
+    poll_s: float = DEFAULT_POLL_S,
+) -> List[TrialOutcome]:
+    """Run thunks as one lockstep batch (serial fallback when unsupported)."""
+    if len(thunks) > 1 and batch_supported():
+        return BatchSession(thunks, poll_s=poll_s).run()
+    outcomes = []
+    for i, thunk in enumerate(thunks):
+        try:
+            outcomes.append(TrialOutcome(i, thunk(), None))
+        except Exception as exc:  # noqa: BLE001 - mirror BatchSession
+            outcomes.append(TrialOutcome(i, None, exc))
+    return outcomes
+
+
+class BatchLaneKernels(LaneKernels):
+    """Lane kernels that rendezvous with a :class:`BatchSession`.
+
+    Constructed by ``AttackerContext.lane_kernels()`` when the calling
+    thread is a session lane thread.  Only the two planned operations
+    park; every other kernel (monitors' prime/probe, sweeps, chases)
+    runs inline on the lane thread exactly as the parent would — parking
+    an op whose serial cost is comparable to the rendezvous would be
+    pure overhead.  Called from any *other* thread (the coordinator
+    executing a group, or a context that leaked across threads), both
+    overrides fall through to the parent, so re-entry is impossible.
+    """
+
+    __slots__ = ("_slot",)
+
+    def __init__(self, machine, plane, main_core: int = 0,
+                 helper_core: int = 1, slot: Optional[_Slot] = None) -> None:
+        super().__init__(machine, plane, main_core, helper_core)
+        self._slot = slot
+
+    def _parkable(self) -> bool:
+        slot = self._slot
+        return (
+            slot is not None
+            and slot.session.active
+            and not slot.executing
+            and getattr(_tls, "slot", None) is slot
+        )
+
+    def flush_rows(self, rows: PlaneRows, count: int) -> int:
+        if self._parkable():
+            return self._slot.session.park(
+                self._slot, "flush", (self, rows, count)
+            )
+        return super().flush_rows(rows, count)
+
+    def traverse_kernel(self, mode: str, rows: PlaneRows, count: int,
+                        repeats: int) -> None:
+        if self._parkable():
+            return self._slot.session.park(
+                self._slot, "traverse", (self, mode, rows, count, repeats)
+            )
+        return super().traverse_kernel(mode, rows, count, repeats)
+
+
+# -- stacked plane view -------------------------------------------------------
+
+
+def stack_shared_planes(machines: Sequence) -> dict:
+    """Stack a batch's flat cache planes into ``(N, sets, ways)`` arrays.
+
+    For each shared structure (``sf``, ``llc``) of every machine in the
+    batch, gather the flat tag / owner / policy-state planes and stack
+    them along a new leading trial axis.  ``None`` tags (empty slots)
+    map to ``-1``, which no real line address or noise tag uses.  The
+    parity suites and the batch-vs-serial differ compare these arrays
+    elementwise — full final-state equality, strictly stronger than the
+    digest — and any stacked-plane group executor would operate on this
+    exact layout.
+    """
+    if np is None:  # pragma: no cover - REPRO_NO_NUMPY leg
+        raise RuntimeError("stack_shared_planes requires numpy")
+    out = {}
+    for name in ("sf", "llc"):
+        if not all(
+            hasattr(getattr(m.hierarchy, name), "_tags") for m in machines
+        ):
+            continue  # reference or partition-wrapped caches: no flat planes
+        tags, owners, states = [], [], []
+        for machine in machines:
+            cache = getattr(machine.hierarchy, name)
+            n_sets, ways = cache.n_sets, cache.ways
+            tags.append(np.array(
+                [-1 if t is None else t for t in cache._tags],
+                dtype=np.int64).reshape(n_sets, ways))
+            owners.append(np.asarray(
+                cache._owners, dtype=np.int64).reshape(n_sets, ways))
+            state = np.asarray(cache._state, dtype=np.int64)
+            if state.size == n_sets * ways:
+                state = state.reshape(n_sets, ways)
+            else:  # per-set policy state (e.g. PLRU bit words)
+                state = state.reshape(n_sets, -1)
+            states.append(state)
+        out[name] = {
+            "tags": np.stack(tags),
+            "owners": np.stack(owners),
+            "state": np.stack(states),
+        }
+    return out
+
+
+def planes_equal(a: dict, b: dict) -> Tuple[bool, List[str]]:
+    """Elementwise comparison of two :func:`stack_shared_planes` views."""
+    diffs = []
+    for name in sorted(set(a) | set(b)):
+        for field in ("tags", "owners", "state"):
+            pa, pb = a[name][field], b[name][field]
+            if pa.shape != pb.shape or not bool((pa == pb).all()):
+                diffs.append(f"{name}.{field}")
+    return (not diffs), diffs
