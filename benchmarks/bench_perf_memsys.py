@@ -15,16 +15,33 @@ simulator itself across its four generations of hot path:
   (:func:`repro.memsys.lanes_disabled`);
 * **lanes** — the plan-specialized lane kernels (DESIGN.md §2.4), the
   default path when NumPy is available;
+* **vec** — the memo-replay vectorized lane path (DESIGN.md §2.7),
+  legal only under the event-keyed RNG contract (``rng_mode="counter"``):
+  monitor rounds whose pre-state was seen before replay as slice
+  assignments instead of re-simulating, bit-identical to the lanes path
+  on the same counter-mode machine (asserted in-bench by digest);
 * **batch** — the trial-batch executor (DESIGN.md §2.6), measured at the
   campaign level: grouped pool dispatch on microsecond trials and
-  in-process lockstep sessions on construction trials.
+  in-process lockstep sessions on construction trials, in both RNG
+  modes (the counter-mode group executor stages the group's noise draws
+  as one cross-trial numpy pass).
 
-All four run the same workloads and — because the kernels and lanes are
-bit-identical by construction — must produce the same eviction sets; the
-sanity asserts at the bottom enforce that.  Two perf smokes gate CI: the
-fused path must not regress below the batched one on the monitor loop,
-and the lane path must not regress below the plain kernels on
-constructions/sec.
+All serial-mode paths run the same workloads and — because the kernels
+and lanes are bit-identical by construction — must produce the same
+eviction sets; the sanity asserts at the bottom enforce that.  The vec
+stage runs under the counter contract, so its outcomes are compared
+against a counter-mode lanes control machine instead.  Perf smokes gate
+CI: the fused path must not regress below the batched one on the
+monitor loop, the lane path must not regress below the plain kernels on
+constructions/sec, and the vec path must deliver >= 1.5x lanes
+accesses/sec.
+
+``--stages`` selects a comma-separated subset (``ref``/``reference``,
+``batched``, ``kernels``, ``lanes``, ``vec``, ``batch``) so CI quick
+runs can gate only the stages they care about; cross-stage asserts and
+history updates apply only to what was measured.  Every history entry
+records ``quick``, ``host`` and ``python`` so appended entries stay
+interpretable across machines.
 
 Workloads:
 
@@ -54,8 +71,11 @@ or through the harness: ``pytest benchmarks/bench_perf_memsys.py``.
 from __future__ import annotations
 
 import cProfile
+import dataclasses
 import json
 import math
+import os
+import platform
 import pstats
 import sys
 from contextlib import contextmanager, nullcontext
@@ -67,6 +87,7 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_perf_memsys.py`
 
 from _common import Table, make_env, print_header
 from repro.analysis import dataplane_summary
+from repro.check.digest import machine_digest
 from repro.config import cloud_run_noise, skylake_sp_small
 from repro.core.evset import (
     EvsetConfig,
@@ -80,6 +101,7 @@ from repro.memsys import (
     AttackKernels,
     LaneKernels,
     TranslationPlane,
+    VecKernels,
     kernels_disabled,
     lanes_disabled,
 )
@@ -89,8 +111,30 @@ from repro.memsys.machine import Machine
 
 PAGE_OFFSET = 0x2C0
 
-#: The four hot-path generations, oldest first.
+#: The four serial-mode hot-path generations, oldest first.
 STAGES = ("reference", "batched", "kernels", "lanes")
+
+#: Everything ``--stages`` can select (the serial paths plus the
+#: counter-mode vec path and the campaign-level batch tier).
+ALL_COMPONENTS = STAGES + ("vec", "batch")
+
+_STAGE_ALIASES = {"ref": "reference"}
+
+
+def resolve_stages(names) -> set:
+    """Canonical component set from a ``--stages`` selection (None = all)."""
+    if names is None:
+        return set(ALL_COMPONENTS)
+    sel = set()
+    for name in names:
+        canon = _STAGE_ALIASES.get(name.strip(), name.strip())
+        if canon not in ALL_COMPONENTS:
+            raise SystemExit(
+                f"unknown stage {name!r}; choose from "
+                f"{', '.join(ALL_COMPONENTS)} (ref = reference)"
+            )
+        sel.add(canon)
+    return sel
 
 
 @contextmanager
@@ -118,7 +162,7 @@ def _path_guard(path: str):
 # --- Monitor hot loop -------------------------------------------------------
 
 
-def _accesses_setup(cache_cls):
+def _accesses_setup(cache_cls, rng_mode: str = "serial"):
     """Machine plus a ways-sized SF-congruent eviction set (monitor shape).
 
     The measured workload is the Prime+Probe monitor hot loop: one prime
@@ -128,8 +172,11 @@ def _accesses_setup(cache_cls):
     """
     from collections import defaultdict
 
+    cfg = skylake_sp_small()
+    if rng_mode != "serial":
+        cfg = dataclasses.replace(cfg, rng_mode=rng_mode)
     with _cache_impl(cache_cls):
-        machine = Machine(skylake_sp_small(), noise=cloud_run_noise(), seed=21)
+        machine = Machine(cfg, noise=cloud_run_noise(), seed=21)
     space = machine.new_address_space()
     lines = [space.translate_line(p) for p in space.alloc_pages(400)]
     groups = defaultdict(list)
@@ -171,50 +218,74 @@ def _accesses_round_kernels(machine, kernels, rows, reps: int) -> float:
     return count / (perf_counter() - t0)
 
 
-def _bench_accesses(quick: bool):
-    """Monitor-loop throughput, all four hot paths, interleaved best-of-N.
+def _kernels_runner(kernel_cls, rng_mode: str = "serial"):
+    """(machine, evset, round-closure) for one kernel-bundle stage."""
+    machine, evset = _accesses_setup(SetAssociativeCache, rng_mode)
+    # The monitor loop works on raw lines, so the plane's translate is the
+    # identity — the kernels see the same geometry the Machine would.
+    plane = TranslationPlane(machine.hierarchy, lambda line: line)
+    kernels = kernel_cls(machine, plane)
+    assert kernels.engaged()
+    rows = plane.rows(evset)
+
+    def runner(reps):
+        return _accesses_round_kernels(machine, kernels, rows, reps)
+
+    return machine, evset, runner
+
+
+def _bench_accesses(quick: bool, hot, want_vec: bool):
+    """Monitor-loop throughput, selected hot paths, interleaved best-of-N.
 
     Shared/burst-throttled hosts swing throughput by 2x over minutes;
     interleaving the implementations round-robin and taking each side's
     best round keeps the ratios honest under that noise.  The lane bundle
     inherits the monitor kernels unchanged (resident-line walks have
     nothing provably dead), so its column doubles as an overhead check.
+
+    ``want_vec`` adds two counter-mode machines: the vec path under
+    measurement and a lanes control running the identical workload; their
+    machine digests must match at the end (replay parity, asserted here
+    so the perf number can never outrun correctness).
     """
     rounds = 2 if quick else 4
     reps = 40 if quick else 300
-    ref_machine, ref_evset = _accesses_setup(ReferenceSetAssociativeCache)
-    flat_machine, flat_evset = _accesses_setup(SetAssociativeCache)
-    kern_machine, kern_evset = _accesses_setup(SetAssociativeCache)
-    lane_machine, lane_evset = _accesses_setup(SetAssociativeCache)
-    assert flat_evset == ref_evset == kern_evset == lane_evset, (
+    runners = {}
+    machines = {}
+    evsets = {}
+    for stage in hot:
+        if stage in ("reference", "batched"):
+            machine, evset = _accesses_setup(_stage_cache_cls(stage))
+            machines[stage], evsets[stage] = machine, evset
+            batched = stage == "batched"
+            runners[stage] = (
+                lambda reps, m=machine, e=evset, b=batched:
+                _accesses_round(m, e, b, reps)
+            )
+        else:
+            kcls = AttackKernels if stage == "kernels" else LaneKernels
+            machines[stage], evsets[stage], runners[stage] = (
+                _kernels_runner(kcls)
+            )
+    if want_vec:
+        for name, kcls in (("lanes_counter", LaneKernels),
+                           ("vec", VecKernels)):
+            machines[name], evsets[name], runners[name] = (
+                _kernels_runner(kcls, rng_mode="counter")
+            )
+    assert len({tuple(e) for e in evsets.values()}) <= 1, (
         "parity violation: address maps differ"
     )
-    # The monitor loop works on raw lines, so the plane's translate is the
-    # identity — the kernels see the same geometry the Machine would.
-    plane = TranslationPlane(kern_machine.hierarchy, lambda line: line)
-    kernels = AttackKernels(kern_machine, plane)
-    assert kernels.engaged()
-    rows = plane.rows(kern_evset)
-    lane_plane = TranslationPlane(lane_machine.hierarchy, lambda line: line)
-    lanes = LaneKernels(lane_machine, lane_plane)
-    lane_rows = lane_plane.rows(lane_evset)
-    best = dict.fromkeys(STAGES, 0.0)
+    best = dict.fromkeys(runners, 0.0)
     for _ in range(rounds):
-        best["reference"] = max(
-            best["reference"], _accesses_round(ref_machine, ref_evset, False, reps)
+        for name, runner in runners.items():
+            best[name] = max(best[name], runner(reps))
+    if want_vec:
+        assert (machine_digest(machines["vec"])
+                == machine_digest(machines["lanes_counter"])), (
+            "parity violation: vec replay diverged from counter-mode lanes"
         )
-        best["batched"] = max(
-            best["batched"], _accesses_round(flat_machine, flat_evset, True, reps)
-        )
-        best["kernels"] = max(
-            best["kernels"],
-            _accesses_round_kernels(kern_machine, kernels, rows, reps),
-        )
-        best["lanes"] = max(
-            best["lanes"],
-            _accesses_round_kernels(lane_machine, lanes, lane_rows, reps),
-        )
-    return best, flat_machine
+    return best, machines
 
 
 # --- Construction workloads -------------------------------------------------
@@ -227,10 +298,10 @@ def _stage_cache_cls(stage: str):
     )
 
 
-def _bench_evsets(quick: bool):
+def _bench_evsets(quick: bool, hot):
     """SF eviction-set constructions/sec (BinS, filtered candidates).
 
-    All four stages get their own deterministic environment (same seed,
+    All selected stages get their own deterministic environment (same seed,
     so the same candidate pool and targets), and the trials run
     *interleaved* round-robin across stages: on burst-throttled hosts a
     sequential per-stage run can attribute a 30% host-wide slowdown to
@@ -239,7 +310,7 @@ def _bench_evsets(quick: bool):
     """
     trials = 2 if quick else 6
     envs = {}
-    for stage in STAGES:
+    for stage in hot:
         with _cache_impl(_stage_cache_cls(stage)):
             machine, ctx = make_env("cloud", seed=13)
         with _path_guard(stage):
@@ -247,7 +318,7 @@ def _bench_evsets(quick: bool):
             targets = [cand.vas.pop() for _ in range(trials)]
         envs[stage] = [ctx, cand, targets, 0.0, 0]  # elapsed_s, successes
     for i in range(trials):
-        for stage in STAGES:
+        for stage in hot:
             env = envs[stage]
             ctx, cand, targets = env[0], env[1], env[2]
             with _path_guard(stage):
@@ -308,13 +379,20 @@ def _bench_batch(quick: bool):
     * **lockstep** — heavyweight construction trials run in-process as
       one :class:`BatchSession`: N lane threads share one interpreter,
       one NumPy import, and one plan cache (the memory story), but the
-      GIL serializes the compute, so the ratio is an *overhead bound*
-      (~0.9-1.0x), not a speedup.  Cross-trial SIMD of the sweep hot
-      loop is infeasible under the per-access RNG-order contract — the
-      measured finding recorded in DESIGN.md §2.6.
+      GIL serializes the python compute, so the in-mode ratio is an
+      *overhead bound* (~0.9-1.0x).  Cross-trial SIMD of the sweep hot
+      loop is infeasible under the per-access RNG-order contract
+      (DESIGN.md §2.6); under the event-keyed contract (§2.7) the
+      coordinator stages the group's noise draws as one cross-trial
+      numpy pass and the keyed scalar draws are themselves cheaper, so
+      the measurement is repeated under ``rng=counter`` and the
+      delivered speedup is ``counter_lockstep_speedup``: counter-mode
+      lockstep throughput over the default serial-contract serial path
+      — the end-to-end gain of switching contract + tier on the same
+      campaign.
 
-    Values are byte-compared between modes: the batch tier must not buy
-    a single bit of divergence.
+    Values are byte-compared between dispatch modes within each RNG
+    contract: the batch tier must not buy a single bit of divergence.
     """
     from repro.exec import ExecPolicy, run_campaign
     from repro.exec.campaigns import construction_campaign
@@ -349,17 +427,32 @@ def _bench_batch(quick: bool):
 
     n_heavy = 4 if quick else 16
     heavy = construction_campaign(trials=n_heavy, base_seed=29)
-    t0 = perf_counter()
-    serial_result = run_campaign(heavy, ExecPolicy(jobs=1))
-    serial_rate = n_heavy / (perf_counter() - t0)
-    t0 = perf_counter()
-    batch_result = run_campaign(
-        heavy, ExecPolicy(jobs=1, batch=min(batch, n_heavy))
-    )
-    lockstep_rate = n_heavy / (perf_counter() - t0)
-    assert [r.value for r in batch_result.records] == [
-        r.value for r in serial_result.records
-    ], "parity violation: lockstep batch changed construction samples"
+
+    def _lockstep_pair():
+        t0 = perf_counter()
+        serial_result = run_campaign(heavy, ExecPolicy(jobs=1))
+        serial_rate = n_heavy / (perf_counter() - t0)
+        t0 = perf_counter()
+        batch_result = run_campaign(
+            heavy, ExecPolicy(jobs=1, batch=min(batch, n_heavy))
+        )
+        lockstep_rate = n_heavy / (perf_counter() - t0)
+        assert serial_result.ok and batch_result.ok
+        assert [r.value for r in batch_result.records] == [
+            r.value for r in serial_result.records
+        ], "parity violation: lockstep batch changed construction samples"
+        return serial_rate, lockstep_rate
+
+    serial_rate, lockstep_rate = _lockstep_pair()
+    saved_rng = os.environ.get("REPRO_RNG")
+    os.environ["REPRO_RNG"] = "counter"
+    try:
+        c_serial_rate, c_lockstep_rate = _lockstep_pair()
+    finally:
+        if saved_rng is None:
+            del os.environ["REPRO_RNG"]
+        else:
+            os.environ["REPRO_RNG"] = saved_rng
 
     return {
         "batch": batch,
@@ -370,6 +463,13 @@ def _bench_batch(quick: bool):
         "lockstep_trials_per_sec_serial": serial_rate,
         "lockstep_trials_per_sec_batch": lockstep_rate,
         "lockstep_ratio": lockstep_rate / serial_rate,
+        "counter_lockstep_trials_per_sec_serial": c_serial_rate,
+        "counter_lockstep_trials_per_sec_batch": c_lockstep_rate,
+        "counter_lockstep_ratio": c_lockstep_rate / c_serial_rate,
+        # The delivered speedup: the same campaign through the new
+        # contract + batch tier vs the default serial-contract serial
+        # path (what every pre-PR-8 campaign paid).
+        "counter_lockstep_speedup": c_lockstep_rate / serial_rate,
     }
 
 
@@ -461,24 +561,74 @@ def _load_history(out_path: str) -> list:
 # --- Driver -----------------------------------------------------------------
 
 
-def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
-    print_header(
-        "Simulator throughput: reference vs. flat plane vs. kernels vs. lanes",
-        "Infrastructure benchmark (DESIGN.md 2.2-2.4), not a paper artifact.",
+def _update_history(history: list, pr: str, stages_payload: dict,
+                    quick: bool) -> list:
+    """Replace ``pr``'s history entry with this run's numbers.
+
+    A --quick smoke run must never displace a full-run entry: CI runs
+    quick mode on every push, while full numbers come from deliberate
+    local runs.  Quick entries only fill the slot when nothing better
+    exists; full runs always replace whatever is there for this PR.
+    Every entry records the run mode and host so appended history stays
+    interpretable across machines (satellite of PR 8).
+    """
+    prior = [e for e in history if e.get("pr") == pr]
+    if quick and any(not e.get("quick") for e in prior):
+        return history
+    history = [e for e in history if e.get("pr") != pr]
+    history.append(
+        {
+            "pr": pr,
+            "quick": quick,
+            "host": platform.node(),
+            "python": platform.python_version(),
+            "stages": stages_payload,
+        }
     )
-    best_acc, acc_machine = _bench_accesses(quick)
-    ev_results = _bench_evsets(quick)
+    return history
+
+
+def run_perf(
+    quick: bool = False,
+    out_path: str = "BENCH_perf.json",
+    stages=None,
+) -> dict:
+    sel = resolve_stages(stages)
+    hot = [s for s in STAGES if s in sel]
+    want_vec = "vec" in sel and HAVE_NUMPY
+    want_batch = "batch" in sel
+    print_header(
+        "Simulator throughput: reference vs. flat plane vs. kernels vs. "
+        "lanes vs. vec",
+        "Infrastructure benchmark (DESIGN.md 2.2-2.7), not a paper artifact.",
+    )
+    best_acc, acc_machines = (
+        _bench_accesses(quick, hot, want_vec) if (hot or want_vec)
+        else ({}, {})
+    )
+    ev_results = _bench_evsets(quick, hot) if hot else {}
     results = {}
     trial_machine = None
-    for stage in STAGES:
+    for stage in hot:
         results[stage], machine = _measure(quick, stage, ev_results)
         results[stage]["accesses_per_sec"] = best_acc[stage]
         if stage == "lanes":
             trial_machine = machine
-    before = results["reference"]
-    after = results["batched"]
-    kernels = results["kernels"]
-    lanes = results["lanes"]
+
+    vec_results = None
+    if want_vec:
+        vec_results = {
+            "rng_mode": "counter",
+            "accesses_per_sec": best_acc["vec"],
+            "counter_lanes_accesses_per_sec": best_acc["lanes_counter"],
+            "speedup_vs_counter_lanes": (
+                best_acc["vec"] / best_acc["lanes_counter"]
+            ),
+        }
+        if "lanes" in results:
+            vec_results["speedup_vs_lanes"] = (
+                best_acc["vec"] / results["lanes"]["accesses_per_sec"]
+            )
 
     def ratio(new, old):
         return {
@@ -487,139 +637,200 @@ def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
             "trial_seconds": old["trial_seconds"] / new["trial_seconds"],
         }
 
-    speedup = ratio(after, before)
-    kernel_speedup = ratio(kernels, after)
-    lane_speedup = ratio(lanes, kernels)
+    full_serial = all(s in results for s in STAGES)
+    speedup = kernel_speedup = lane_speedup = None
+    if full_serial:
+        speedup = ratio(results["batched"], results["reference"])
+        kernel_speedup = ratio(results["kernels"], results["batched"])
+        lane_speedup = ratio(results["lanes"], results["kernels"])
 
-    table = Table(
-        "Simulator throughput (same host, same workloads)",
-        ["Metric", "Reference", "Flat plane", "Kernels", "Lanes", "Lane/Kern"],
-    )
-    table.add_row(
-        "accesses/sec",
-        f"{before['accesses_per_sec']:,.0f}",
-        f"{after['accesses_per_sec']:,.0f}",
-        f"{kernels['accesses_per_sec']:,.0f}",
-        f"{lanes['accesses_per_sec']:,.0f}",
-        f"{lane_speedup['accesses_per_sec']:.2f}x",
-    )
-    table.add_row(
-        "evset constructions/sec",
-        f"{before['evsets_per_sec']:.2f}",
-        f"{after['evsets_per_sec']:.2f}",
-        f"{kernels['evsets_per_sec']:.2f}",
-        f"{lanes['evsets_per_sec']:.2f}",
-        f"{lane_speedup['evsets_per_sec']:.2f}x",
-    )
-    table.add_row(
-        "end-to-end trial (s)",
-        f"{before['trial_seconds']:.2f}",
-        f"{after['trial_seconds']:.2f}",
-        f"{kernels['trial_seconds']:.2f}",
-        f"{lanes['trial_seconds']:.2f}",
-        f"{lane_speedup['trial_seconds']:.2f}x",
-    )
-    table.print()
+    names = hot + (["vec"] if want_vec else [])
+    if names:
+        table = Table(
+            "Simulator throughput (same host, same workloads)",
+            ["Metric"] + [n.capitalize() for n in names],
+        )
 
-    batch_results = _bench_batch(quick)
-    btable = Table(
-        "Trial-batch tier (campaign-level, batch=16)",
-        ["Workload", "batch=1", "batch=16", "Ratio"],
-    )
-    btable.add_row(
-        "micro-trial dispatch (trials/s, jobs=4)",
-        f"{batch_results['dispatch_trials_per_sec_serial']:,.0f}",
-        f"{batch_results['dispatch_trials_per_sec_batch']:,.0f}",
-        f"{batch_results['dispatch_speedup']:.2f}x",
-    )
-    btable.add_row(
-        "construction lockstep (trials/s, jobs=1)",
-        f"{batch_results['lockstep_trials_per_sec_serial']:.3f}",
-        f"{batch_results['lockstep_trials_per_sec_batch']:.3f}",
-        f"{batch_results['lockstep_ratio']:.2f}x",
-    )
-    btable.print()
+        def _row(label, key, fmt):
+            cells = []
+            for n in names:
+                src = vec_results if n == "vec" else results.get(n)
+                value = (src or {}).get(key)
+                cells.append(fmt.format(value) if value is not None else "-")
+            table.add_row(label, *cells)
 
-    profile = _profile_construction(quick)
-    dataplane = {
-        "access_workload": dataplane_summary(acc_machine),
-        "trial_workload": dataplane_summary(trial_machine),
-    }
+        _row("accesses/sec", "accesses_per_sec", "{:,.0f}")
+        _row("evset constructions/sec", "evsets_per_sec", "{:.2f}")
+        _row("end-to-end trial (s)", "trial_seconds", "{:.2f}")
+        table.print()
+        if want_vec:
+            base = vec_results.get(
+                "speedup_vs_lanes", vec_results["speedup_vs_counter_lanes"]
+            )
+            print(
+                f"vec (rng=counter): {best_acc['vec']:,.0f} accesses/sec "
+                f"= {base:.2f}x lanes"
+            )
+
+    batch_results = None
+    if want_batch:
+        batch_results = _bench_batch(quick)
+        btable = Table(
+            "Trial-batch tier (campaign-level, batch=16)",
+            ["Workload", "batch=1", "batch=16", "Ratio"],
+        )
+        btable.add_row(
+            "micro-trial dispatch (trials/s, jobs=4)",
+            f"{batch_results['dispatch_trials_per_sec_serial']:,.0f}",
+            f"{batch_results['dispatch_trials_per_sec_batch']:,.0f}",
+            f"{batch_results['dispatch_speedup']:.2f}x",
+        )
+        btable.add_row(
+            "construction lockstep (trials/s, jobs=1)",
+            f"{batch_results['lockstep_trials_per_sec_serial']:.3f}",
+            f"{batch_results['lockstep_trials_per_sec_batch']:.3f}",
+            f"{batch_results['lockstep_ratio']:.2f}x",
+        )
+        btable.add_row(
+            "construction lockstep, rng=counter (trials/s)",
+            f"{batch_results['counter_lockstep_trials_per_sec_serial']:.3f}",
+            f"{batch_results['counter_lockstep_trials_per_sec_batch']:.3f}",
+            f"{batch_results['counter_lockstep_ratio']:.2f}x",
+        )
+        btable.print()
+        print(
+            "counter lockstep vs serial-contract serial: "
+            f"{batch_results['counter_lockstep_speedup']:.2f}x"
+        )
+
+    profile = _profile_construction(quick) if full_serial else None
+    acc_machine = acc_machines.get("batched")
+    dataplane = None
+    if acc_machine is not None and trial_machine is not None:
+        dataplane = {
+            "access_workload": dataplane_summary(acc_machine),
+            "trial_workload": dataplane_summary(trial_machine),
+        }
     keys = ("evsets_per_sec", "accesses_per_sec", "trial_seconds")
     history = _load_history(out_path)
-    # A --quick smoke run must never displace a full-run entry: CI runs
-    # quick mode on every push, while full numbers come from deliberate
-    # local runs.  Quick entries only fill the slot when nothing better
-    # exists; full runs always replace whatever is there for this PR.
-    prior = [e for e in history if e.get("pr") == "PR 4"]
-    keep_prior = quick and any(not e.get("quick") for e in prior)
-    if not keep_prior:
-        history = [e for e in history if e.get("pr") != "PR 4"]
-        history.append(
-            {
-                "pr": "PR 4",
-                "quick": quick,
-                "stages": {
-                    s: {k: results[s][k] for k in keys} for s in STAGES
-                },
+    if full_serial:
+        history = _update_history(
+            history,
+            "PR 4",
+            {s: {k: results[s][k] for k in keys} for s in STAGES},
+            quick,
+        )
+    if batch_results is not None:
+        serial_batch = {
+            k: v for k, v in batch_results.items()
+            if not k.startswith("counter_")
+        }
+        history = _update_history(
+            history, "PR 7", {"batch": serial_batch}, quick
+        )
+    if want_vec or batch_results is not None:
+        pr8 = {}
+        if want_vec:
+            pr8["vec"] = vec_results
+        if batch_results is not None:
+            pr8["batch_counter"] = {
+                k: v for k, v in batch_results.items()
+                if k.startswith("counter_")
             }
-        )
-    prior = [e for e in history if e.get("pr") == "PR 7"]
-    keep_prior = quick and any(not e.get("quick") for e in prior)
-    if not keep_prior:
-        history = [e for e in history if e.get("pr") != "PR 7"]
-        history.append(
-            {"pr": "PR 7", "quick": quick, "stages": {"batch": batch_results}}
-        )
+        history = _update_history(history, "PR 8", pr8, quick)
+
+    try:
+        old_payload = json.loads(Path(out_path).read_text())
+    except (OSError, ValueError):
+        old_payload = {}
     payload = {
         "quick": quick,
-        "before": before,
-        "after": after,
-        "kernels": kernels,
-        "lanes": lanes,
-        "speedup": speedup,
-        "kernel_speedup": kernel_speedup,
-        "lane_speedup": lane_speedup,
-        "batch": batch_results,
-        "profile": profile,
-        "dataplane": dataplane,
+        "stages_run": sorted(sel),
+        "profile": profile if profile is not None
+        else old_payload.get("profile"),
+        "dataplane": dataplane if dataplane is not None
+        else old_payload.get("dataplane"),
         "history": history,
     }
+    if full_serial:
+        payload.update(
+            {
+                "before": results["reference"],
+                "after": results["batched"],
+                "kernels": results["kernels"],
+                "lanes": results["lanes"],
+                "speedup": speedup,
+                "kernel_speedup": kernel_speedup,
+                "lane_speedup": lane_speedup,
+            }
+        )
+    else:
+        for key in ("before", "after", "kernels", "lanes", "speedup",
+                    "kernel_speedup", "lane_speedup"):
+            if key in old_payload:
+                payload[key] = old_payload[key]
+    if vec_results is not None:
+        payload["vec"] = vec_results
+    elif "vec" in old_payload:
+        payload["vec"] = old_payload["vec"]
+    if batch_results is not None:
+        payload["batch"] = batch_results
+    elif "batch" in old_payload:
+        payload["batch"] = old_payload["batch"]
     Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nWrote {out_path}")
 
     # Sanity checks.  Cross-implementation speedups carry no threshold
-    # (CI runners are too noisy), but all four paths must agree on every
-    # *outcome* — the kernels and lanes are bit-identical by contract.
+    # (CI runners are too noisy), but all measured serial-mode paths
+    # must agree on every *outcome* — the kernels and lanes are
+    # bit-identical by contract.  (The vec stage runs under the counter
+    # contract; its parity is asserted against the counter-mode lanes
+    # control inside _bench_accesses.)
     for metrics in results.values():
         assert metrics["accesses_per_sec"] > 0
         assert math.isfinite(metrics["trial_seconds"])
-    succ = {m["evset_successes"] for m in results.values()}
-    assert len(succ) == 1, (
-        "parity violation: the four paths must construct the same eviction sets"
-    )
-    assert len({m["trial_evsets"] for m in results.values()}) == 1
+    if results:
+        succ = {m["evset_successes"] for m in results.values()}
+        assert len(succ) == 1, (
+            "parity violation: all serial paths must construct the same "
+            "eviction sets"
+        )
+        assert len({m["trial_evsets"] for m in results.values()}) == 1
     # Kernel perf smoke: with interleaved best-of-N the fused monitor loop
     # must not fall behind the batched one (0.9 absorbs residual jitter).
-    assert kernels["accesses_per_sec"] >= 0.9 * after["accesses_per_sec"], (
-        f"fused kernels slower than batched path on the monitor loop: "
-        f"{kernels['accesses_per_sec']:,.0f} vs "
-        f"{after['accesses_per_sec']:,.0f} accesses/sec"
-    )
+    if "kernels" in results and "batched" in results:
+        assert (results["kernels"]["accesses_per_sec"]
+                >= 0.9 * results["batched"]["accesses_per_sec"]), (
+            f"fused kernels slower than batched path on the monitor loop: "
+            f"{results['kernels']['accesses_per_sec']:,.0f} vs "
+            f"{results['batched']['accesses_per_sec']:,.0f} accesses/sec"
+        )
     # Lane perf smoke: the specialized sweeps must not fall behind the
     # plain kernels on the construction workload they target.
-    if HAVE_NUMPY:
-        assert lanes["evsets_per_sec"] >= 1.0 * kernels["evsets_per_sec"], (
+    if HAVE_NUMPY and "lanes" in results and "kernels" in results:
+        assert (results["lanes"]["evsets_per_sec"]
+                >= 1.0 * results["kernels"]["evsets_per_sec"]), (
             f"lane plane slower than plain kernels on constructions: "
-            f"{lanes['evsets_per_sec']:.2f} vs "
-            f"{kernels['evsets_per_sec']:.2f} evsets/sec"
+            f"{results['lanes']['evsets_per_sec']:.2f} vs "
+            f"{results['kernels']['evsets_per_sec']:.2f} evsets/sec"
+        )
+    # Vec perf gate (PR 8): memo-replay must deliver >= 1.5x lanes on the
+    # monitor loop even in quick mode (full runs measure ~2.5x; 1.5
+    # absorbs cold-memo and CI noise).
+    if vec_results is not None:
+        vec_base = vec_results.get(
+            "speedup_vs_lanes", vec_results["speedup_vs_counter_lanes"]
+        )
+        assert vec_base >= 1.5, (
+            f"vec stage below 1.5x lanes accesses/sec: {vec_base:.2f}x"
         )
     # Batch perf smoke: grouped dispatch must beat per-trial dispatch on
     # micro-trial campaign throughput (measured ~6x at batch=16; 1.5
-    # absorbs CI noise), and lockstep threading must stay a bounded
-    # overhead on heavy trials (the GIL serializes compute — DESIGN.md
-    # §2.6 records why cross-trial SIMD can't lift this above ~1x).
-    if batch_results["supported"]:
+    # absorbs CI noise); in-mode lockstep threading must stay a bounded
+    # overhead on heavy trials (the GIL serializes the python compute —
+    # DESIGN.md §2.6/2.7 record why); and the counter-contract batch
+    # path must beat the serial-contract serial path it replaces.
+    if batch_results is not None and batch_results["supported"]:
         assert batch_results["dispatch_speedup"] >= 1.5, (
             f"batched dispatch below 1.5x per-trial dispatch: "
             f"{batch_results['dispatch_speedup']:.2f}x"
@@ -628,17 +839,35 @@ def run_perf(quick: bool = False, out_path: str = "BENCH_perf.json") -> dict:
             f"lockstep batch overhead above bound: "
             f"{batch_results['lockstep_ratio']:.2f}x of serial"
         )
-    return {
-        "accesses_speedup": speedup["accesses_per_sec"],
-        "evsets_speedup": speedup["evsets_per_sec"],
-        "trial_speedup": speedup["trial_seconds"],
-        "kernel_evsets_speedup": kernel_speedup["evsets_per_sec"],
-        "lane_evsets_speedup": lane_speedup["evsets_per_sec"],
-        "lane_trial_speedup": lane_speedup["trial_seconds"],
-        "lane_evsets_per_sec": lanes["evsets_per_sec"],
-        "batch_dispatch_speedup": batch_results["dispatch_speedup"],
-        "batch_lockstep_ratio": batch_results["lockstep_ratio"],
-    }
+        assert batch_results["counter_lockstep_speedup"] >= 1.1, (
+            f"counter-mode lockstep below serial-contract serial: "
+            f"{batch_results['counter_lockstep_speedup']:.2f}x"
+        )
+    out = {}
+    if full_serial:
+        out.update(
+            {
+                "accesses_speedup": speedup["accesses_per_sec"],
+                "evsets_speedup": speedup["evsets_per_sec"],
+                "trial_speedup": speedup["trial_seconds"],
+                "kernel_evsets_speedup": kernel_speedup["evsets_per_sec"],
+                "lane_evsets_speedup": lane_speedup["evsets_per_sec"],
+                "lane_trial_speedup": lane_speedup["trial_seconds"],
+                "lane_evsets_per_sec": results["lanes"]["evsets_per_sec"],
+            }
+        )
+    if vec_results is not None:
+        out["vec_accesses_per_sec"] = vec_results["accesses_per_sec"]
+        out["vec_speedup"] = vec_results.get(
+            "speedup_vs_lanes", vec_results["speedup_vs_counter_lanes"]
+        )
+    if batch_results is not None:
+        out["batch_dispatch_speedup"] = batch_results["dispatch_speedup"]
+        out["batch_lockstep_ratio"] = batch_results["lockstep_ratio"]
+        out["counter_lockstep_speedup"] = (
+            batch_results["counter_lockstep_speedup"]
+        )
+    return out
 
 
 def bench_perf_memsys(run_once):
@@ -646,5 +875,12 @@ def bench_perf_memsys(run_once):
 
 
 if __name__ == "__main__":
-    quick = "--quick" in sys.argv[1:]
-    run_perf(quick=quick)
+    args = sys.argv[1:]
+    quick = "--quick" in args
+    stage_arg = None
+    if "--stages" in args:
+        idx = args.index("--stages")
+        if idx + 1 >= len(args):
+            raise SystemExit("--stages needs a comma-separated list")
+        stage_arg = args[idx + 1].split(",")
+    run_perf(quick=quick, stages=stage_arg)

@@ -38,13 +38,48 @@ def rng_state_digests(machine) -> Dict[str, str]:
 
 
 def machine_digest(machine) -> Dict[str, Any]:
-    """The canonical observable-state dict (see module docstring)."""
-    return {
+    """The canonical observable-state dict (see module docstring).
+
+    In counter mode one extra key digests the event counters (reuse
+    predictor, L2-victim, keyed random victims) — a tier that consumed a
+    different number of keyed draws diverges here even if the cache
+    state happens to agree.  The key is *absent* in serial mode so the
+    pinned serial goldens keep their exact historical shape.
+    """
+    out = {
         "now": machine.now,
         "stats": machine.hierarchy.stats.as_dict(),
         "noise_events": machine.noise.events,
         "rng": rng_state_digests(machine),
     }
+    if getattr(machine.cfg, "rng_mode", "serial") != "serial":
+        hier = machine.hierarchy
+        victims = [_victim_counters(c)
+                   for c in (*hier.l1, *hier.l2, hier.llc, hier.sf)]
+        out["crng"] = obj_digest({
+            "sf_reuse": hier._sf_reuse_ctr,
+            "l2v": hier._l2v_ctr,
+            "victims": victims,
+        })
+    return out
+
+
+def _victim_counters(cache) -> Dict[int, int]:
+    """Keyed random-victim draw counts per set (empty for deterministic
+    policies), identical between the flat plane and the reference tier."""
+    pol = getattr(cache, "_pol", None)
+    if pol is not None:
+        ctr = getattr(pol, "_ctr", None)
+        return {k: v for k, v in ctr.items() if v} if ctr else {}
+    sets = getattr(cache, "_sets", None)
+    if sets is None:
+        return {}
+    counts = dict(getattr(cache, "_saved_vctr", {}))
+    for set_idx, cset in sets.items():
+        ctr = getattr(cset.policy, "_ctr", 0)
+        if ctr:
+            counts[set_idx] = ctr
+    return counts
 
 
 def diff_keys(expected: Any, actual: Any, prefix: str = "") -> List[str]:

@@ -20,6 +20,7 @@ from ..memsys import batchplane
 from ..memsys.kernels import AttackKernels, PlaneRows, TranslationPlane
 from ..memsys.lanes import LaneKernels
 from ..memsys.machine import Machine
+from ..memsys.vec import VecKernels
 
 
 class AttackerContext:
@@ -131,6 +132,11 @@ class AttackerContext:
         the trial's planned operations rendezvous with its batch.  The
         context must be used on the thread that first called this (the
         batch executor creates one context per trial per lane thread).
+
+        On counter-RNG machines the standalone bundle upgrades to
+        :class:`~repro.memsys.vec.VecKernels` — identical results, with
+        monitor rounds memo-replayed (legal only under the event-keyed
+        draw contract; see DESIGN.md).
         """
         kernels = self._lane_kernels
         if kernels is None:
@@ -139,6 +145,11 @@ class AttackerContext:
                 kernels = batchplane.BatchLaneKernels(
                     self.machine, self._plane, self.main_core,
                     self.helper_core, slot=slot,
+                )
+            elif getattr(self.machine.hierarchy, "crng", None) is not None:
+                kernels = VecKernels(
+                    self.machine, self._plane, self.main_core,
+                    self.helper_core,
                 )
             else:
                 kernels = LaneKernels(

@@ -25,6 +25,7 @@ from .lanes import HAVE_NUMPY, LaneKernels, lanes_disabled
 from .machine import Machine
 from .replacement import make_policy
 from .slice_hash import ComplexSliceHash, LinearSliceHash, make_slice_hash
+from .vec import VecKernels, vec_disabled
 
 __all__ = [
     "AddressSpace",
@@ -42,12 +43,14 @@ __all__ = [
     "PlaneRows",
     "SetAssociativeCache",
     "TranslationPlane",
+    "VecKernels",
     "batch_disabled",
     "batch_supported",
     "kernels_disabled",
     "lanes_disabled",
     "run_batched",
     "stack_shared_planes",
+    "vec_disabled",
     "line_address",
     "make_policy",
     "make_slice_hash",

@@ -65,6 +65,7 @@ import threading
 from contextlib import contextmanager
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..rng import S_NOISE_LLC, S_NOISE_SF, CounterRng
 from .kernels import PlaneRows
 from .lanes import HAVE_NUMPY, LaneKernels
 
@@ -334,16 +335,26 @@ class BatchSession:
 
         This is the stacked-plane vectorization hook: compatible ops
         across trials arrive here together, and an executor is free to
-        run them as one array op per plan step.  On the current
-        workloads the per-access RNG/noise coupling leaves no profitable
-        vectorized group (module docstring), so each op runs through the
-        trial's own serial lane kernels — the explicit parent-class call
-        cannot re-park, and bit-parity per trial is inherited rather
-        than re-implemented.
+        run them as one array op per plan step.  Under the serial-order
+        RNG contract the per-access RNG/noise coupling leaves no
+        profitable vectorized group (module docstring), so each op runs
+        through the trial's own serial lane kernels — the explicit
+        parent-class call cannot re-park, and bit-parity per trial is
+        inherited rather than re-implemented.
+
+        Under the event-keyed contract the coupling dissolves for the
+        stochastic phase: every noise draw the group is about to perform
+        is addressable before any op runs, so the coordinator evaluates
+        them all in one cross-trial numpy pass
+        (:meth:`_stage_keyed_noise`) and the serial sweeps consume the
+        staged values.  Values are identical by construction (draws are
+        pure in their key); only where they are computed changes.
         """
         self.rounds += 1
         self.parked_ops += len(ops)
         self.peak_group = max(self.peak_group, len(ops))
+        if np is not None:
+            self._stage_keyed_noise(ops)
         for op in ops:
             try:
                 if op.kind == "flush":
@@ -352,6 +363,90 @@ class BatchSession:
                     op.result = LaneKernels.traverse_kernel(*op.args)
             except BaseException as exc:  # noqa: BLE001 - re-raised in lane
                 op.error = exc
+
+    #: Below this many gathered windows the scalar draws win (numpy call
+    #: overhead exceeds the per-draw saving).
+    _STAGE_MIN = 16
+
+    def _stage_keyed_noise(self, ops: List[_ParkedOp]) -> None:
+        """Cross-trial SIMD for the group's first-touch noise draws.
+
+        Under the event-keyed RNG contract (DESIGN.md §2.7) every noise
+        draw a parked op will perform on its first sweep is addressable
+        before the op runs: the key is ``(set_index, old_clock)`` with
+        ``old`` read from the flat noise-clock plane and ``now`` fixed
+        at the op's entry clock (planned ops advance time once, at the
+        end).  The coordinator concatenates the windows of *every trial
+        in the group* — each trial's 64-bit master key rides along as
+        one more array column — and evaluates them in a single numpy
+        pass (:meth:`~repro.rng.CounterRng.u01_keyed_many`), staging the
+        results in each trial's ``CounterRng._pre`` for the serial
+        sweeps to consume.  This is the cross-trial vectorization the
+        serial-order contract structurally forbids.
+
+        Only sub-Bernoulli-threshold windows are staged (steady state,
+        essentially all of them) and only for the first op per machine
+        in the group (a second op would run at a later clock); anything
+        unstaged falls back to the bit-identical scalar draw.  Mid-op
+        reconciles of sets outside the op's rows (L2-victim handling)
+        likewise fall back — same key, same value, scalar path.
+        """
+        keys: List[int] = []
+        streams: List[int] = []
+        sidxs: List[int] = []
+        olds: List[int] = []
+        lams: List[float] = []
+        targets: List[tuple] = []
+        seen = set()
+        for op in ops:
+            kern = op.args[0]
+            machine = kern.machine
+            if id(machine) in seen:
+                continue
+            seen.add(id(machine))
+            hier = kern.hierarchy
+            noise = hier.noise_source
+            crng = noise.crng if noise is not None else None
+            if crng is None:
+                continue
+            if op.kind == "flush":
+                rows, count = op.args[1], op.args[2]
+            else:
+                rows, count = op.args[2], op.args[3]
+            now = machine.now
+            pre = crng._pre
+            pre.clear()  # earlier groups' leftovers are dead (old clocks)
+            key = crng._key
+            for stream, plane, rate in (
+                (S_NOISE_SF, hier.sf, noise._sf_rate),
+                (S_NOISE_LLC, hier.llc, noise._llc_rate),
+            ):
+                if rate <= 0.0:
+                    continue
+                nt = plane._noise_t
+                for sidx in set(rows.shared_sets[:count]):
+                    old = nt[sidx]
+                    if now <= old:
+                        continue
+                    lam = rate * (now - old)
+                    if lam < 0.01:
+                        keys.append(key)
+                        streams.append(stream)
+                        sidxs.append(sidx)
+                        olds.append(old)
+                        lams.append(lam)
+                        targets.append((pre, stream, sidx, old))
+        if len(targets) < self._STAGE_MIN:
+            return
+        u = CounterRng.u01_keyed_many(
+            np.array(keys, dtype=np.uint64),
+            np.array(streams, dtype=np.uint64),
+            np.array(sidxs, dtype=np.uint64),
+            np.array(olds, dtype=np.uint64),
+        )
+        hits = u < np.array(lams)
+        for (pre, stream, sidx, old), hit in zip(targets, hits.tolist()):
+            pre[(stream, sidx, old)] = 1 if hit else 0
 
 
 def run_batched(

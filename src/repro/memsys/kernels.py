@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._util import poisson
 from ..cloud.noise import BackgroundNoise
+from ..rng import S_NOISE_LLC, S_NOISE_SF
 from .cache import SetAssociativeCache
 from .hierarchy import (
     _NOISE_TAG_BASE,
@@ -325,6 +326,7 @@ class AttackKernels:
         if noise is not None:
             nrng = noise._rng
             nrand = nrng.random
+            crng = noise.crng
             sf_rate = noise._sf_rate
             llc_rate = noise._llc_rate
             sf_nt = sf._noise_t
@@ -358,7 +360,9 @@ class AttackKernels:
                     if now > old:
                         sf_nt[sidx] = now
                         lam = sf_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_SF, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -376,7 +380,9 @@ class AttackKernels:
                     if now > old:
                         llc_nt[sidx] = now
                         lam = llc_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_LLC, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -522,6 +528,7 @@ class AttackKernels:
         llc_tb = llc._touched
         hrand = hier._rng.random
         reuse_p = hier.cfg.reuse_predictor_p
+        reuse_take = hier._reuse_take if hier.crng is not None else None
         handle_victim = hier._handle_l2_victim
         sidx_get = hier._sidx_memo.get
         shared_set_index = hier.shared_set_index
@@ -592,6 +599,7 @@ class AttackKernels:
         if noise is not None:
             nrng = noise._rng
             nrand = nrng.random
+            crng = noise.crng
             sf_rate = noise._sf_rate
             llc_rate = noise._llc_rate
             sf_nt = sf._noise_t
@@ -622,7 +630,9 @@ class AttackKernels:
                     if now > old:
                         sf_nt[sidx] = now
                         lam = sf_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_SF, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -640,7 +650,9 @@ class AttackKernels:
                     if now > old:
                         llc_nt[sidx] = now
                         lam = llc_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_LLC, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -819,7 +831,8 @@ class AttackKernels:
                                 if eowner >= 0:
                                     inv_private(eowner, etag)
                                     back_inv += 1
-                                if hrand() < reuse_p:
+                                if ((hrand() < reuse_p) if reuse_take is None
+                                        else reuse_take(sidx)):
                                     ev2 = llc_insert(sidx, etag, SHARED_OWNER)
                                     if ev2 is not None and ev2[0] < _NOISE_TAG_BASE:
                                         inv_everywhere(ev2[0])
@@ -1067,7 +1080,8 @@ class AttackKernels:
                         if eowner >= 0:
                             inv_private(eowner, etag)
                             back_inv += 1
-                        if hrand() < reuse_p:
+                        if ((hrand() < reuse_p) if reuse_take is None
+                                else reuse_take(sidx)):
                             ev2 = llc_insert(sidx, etag, SHARED_OWNER)
                             if ev2 is not None and ev2[0] < _NOISE_TAG_BASE:
                                 inv_everywhere(ev2[0])
@@ -1277,6 +1291,7 @@ class AttackKernels:
         llc_insert = llc.insert
         hrand = hier._rng.random
         reuse_p = hier.cfg.reuse_predictor_p
+        reuse_take = hier._reuse_take if hier.crng is not None else None
         handle_victim = hier._handle_l2_victim
         sidx_get = hier._sidx_memo.get
         shared_set_index = hier.shared_set_index
@@ -1311,6 +1326,7 @@ class AttackKernels:
         if noise is not None:
             nrng = noise._rng
             nrand = nrng.random
+            crng = noise.crng
             sf_rate = noise._sf_rate
             llc_rate = noise._llc_rate
             sf_nt = sf._noise_t
@@ -1338,7 +1354,9 @@ class AttackKernels:
                     if now > old:
                         sf_nt[sidx] = now
                         lam = sf_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_SF, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -1356,7 +1374,9 @@ class AttackKernels:
                     if now > old:
                         llc_nt[sidx] = now
                         lam = llc_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_LLC, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -1412,7 +1432,8 @@ class AttackKernels:
                         if eowner >= 0:
                             inv_private(eowner, etag)
                             back_inv += 1
-                        if hrand() < reuse_p:
+                        if ((hrand() < reuse_p) if reuse_take is None
+                                else reuse_take(sidx)):
                             ev2 = llc_insert(sidx, etag, SHARED_OWNER)
                             if ev2 is not None and ev2[0] < _NOISE_TAG_BASE:
                                 inv_everywhere(ev2[0])

@@ -53,6 +53,7 @@ from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from .._util import poisson
+from ..rng import S_NOISE_LLC, S_NOISE_SF
 from .hierarchy import _NOISE_TAG_BASE, SHARED_OWNER
 from .kernels import AttackKernels, PlaneRows
 from .policy_tables import TreePLRU8Table
@@ -346,6 +347,7 @@ class LaneKernels(AttackKernels):
         if use_noise:
             nrng = noise._rng
             nrand = nrng.random
+            crng = noise.crng
             sf_rate = noise._sf_rate
             llc_rate = noise._llc_rate
             sf_nt = sf._noise_t
@@ -420,7 +422,9 @@ class LaneKernels(AttackKernels):
                     if now > old:
                         sf_nt[sidx] = now
                         lam = sf_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_SF, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -438,7 +442,9 @@ class LaneKernels(AttackKernels):
                     if now > old:
                         llc_nt[sidx] = now
                         lam = llc_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_LLC, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -575,6 +581,7 @@ class LaneKernels(AttackKernels):
         llc_insert = llc.insert
         hrand = hier._rng.random
         reuse_p = hier.cfg.reuse_predictor_p
+        reuse_take = hier._reuse_take if hier.crng is not None else None
         handle_victim = hier._handle_l2_victim
         sidx_get = hier._sidx_memo.get
         shared_set_index = hier.shared_set_index
@@ -644,6 +651,7 @@ class LaneKernels(AttackKernels):
         if use_noise:
             nrng = noise._rng
             nrand = nrng.random
+            crng = noise.crng
             sf_rate = noise._sf_rate
             llc_rate = noise._llc_rate
             sf_nt = sf._noise_t
@@ -698,7 +706,9 @@ class LaneKernels(AttackKernels):
                     if now > old:
                         sf_nt[sidx] = now
                         lam = sf_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_SF, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -713,7 +723,9 @@ class LaneKernels(AttackKernels):
                     if now > old:
                         llc_nt[sidx] = now
                         lam = llc_rate * (now - old)
-                        if lam < 0.01:
+                        if crng is not None:
+                            n = crng.noise_poisson(S_NOISE_LLC, sidx, old, lam)
+                        elif lam < 0.01:
                             n = 1 if nrand() < lam else 0
                         else:
                             n = poisson(nrng, lam)
@@ -772,7 +784,7 @@ class LaneKernels(AttackKernels):
                 if eowner >= 0:
                     inv_private(eowner, etag)
                     back_inv += 1
-                if hrand() < reuse_p:
+                if (hrand() < reuse_p) if reuse_take is None else reuse_take(sidx):
                     ev2 = llc_insert(sidx, etag, SHARED_OWNER)
                     if ev2 is not None and ev2[0] < _NOISE_TAG_BASE:
                         inv_everywhere(ev2[0])
