@@ -19,7 +19,14 @@ sampling it:
 """
 
 from .batchdiff import BATCH_BASE_TIER, batch_vs_serial
-from .digest import diff_keys, machine_digest, obj_digest, rng_state_digests
+from .digest import (
+    assert_digest_memo_blind,
+    diff_keys,
+    machine_digest,
+    obj_digest,
+    plane_digest,
+    rng_state_digests,
+)
 from .fuzz import (
     DEFAULT_ARTIFACT_DIR,
     TIERS,
@@ -51,6 +58,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "TIERS",
+    "assert_digest_memo_blind",
     "diff_keys",
     "fuzz_campaign",
     "fuzz_trial",
@@ -60,6 +68,7 @@ __all__ = [
     "load_artifact",
     "machine_digest",
     "obj_digest",
+    "plane_digest",
     "replacement_policy_mutation",
     "replay_artifact",
     "rng_state_digests",

@@ -64,6 +64,83 @@ def machine_digest(machine) -> Dict[str, Any]:
     return out
 
 
+def plane_digest(machine) -> str:
+    """Deep digest of raw cache-plane content, strictly finer than
+    :func:`machine_digest`.
+
+    Folds in, for every structure (way partitions expanded): the tag and
+    owner planes, the flat policy-state plane, per-set occupancy, per-set
+    noise clocks, and — crucially — the ``_where`` tag index, so an index
+    left stale by a checkpoint restore diverges here even when the planes
+    themselves agree.  The reference oracle contributes its per-set tags,
+    owners, and noise clocks.
+
+    Unlike :func:`machine_digest`, this shape is *not* golden-pinned; it
+    serves the snapshot round-trip suites and
+    :func:`assert_digest_memo_blind`.  Like every digest it is blind to
+    accelerator caches (translation memos, lane plans, monitor-round
+    geometry, construct-test recordings, checkpoint stores): those are
+    derived state, never observable.
+    """
+    from ..memsys._reference import ReferenceSetAssociativeCache
+    from ..memsys.cache import SetAssociativeCache
+    from .invariants import _iter_caches
+
+    planes: List[Any] = []
+    for label, cache in _iter_caches(machine.hierarchy):
+        if type(cache) is SetAssociativeCache:
+            planes.append([
+                label,
+                [-1 if t is None else t for t in cache._tags],
+                list(cache._owners),
+                list(cache._state),
+                list(cache._occ),
+                list(cache._noise_t),
+                sorted(cache._where.items()),
+            ])
+        elif isinstance(cache, ReferenceSetAssociativeCache):
+            planes.append([
+                label,
+                [
+                    [
+                        s,
+                        [-1 if t is None else t for t in cset.tags],
+                        list(cset.owners),
+                        cset.noise_t,
+                    ]
+                    for s, cset in sorted(cache._sets.items())
+                ],
+            ])
+    return obj_digest(planes)
+
+
+def assert_digest_memo_blind(machine, ctx=None) -> None:
+    """Assert no memo/snapshot cache leaks into the state digests.
+
+    Takes a throwaway :func:`repro.memsys.snapshot.checkpoint` and drops
+    every accelerator cache reachable from ``ctx`` (translation memos,
+    lane plans, vectorized monitor-round geometry, construct-test
+    recordings — via ``invalidate_translations``), then asserts that
+    neither :func:`machine_digest` nor :func:`plane_digest` moved.  The
+    golden fingerprints depend on this blindness: a digest that folded in
+    warm-up state would differ between a cold and a memo-warm run of the
+    same trial.  Raises :class:`AssertionError` naming the leaked paths.
+    """
+    from ..memsys.snapshot import checkpoint
+
+    before = [machine_digest(machine), plane_digest(machine)]
+    checkpoint(machine, label="digest-blindness-probe")
+    if ctx is not None:
+        ctx.invalidate_translations()
+    after = [machine_digest(machine), plane_digest(machine)]
+    delta = diff_keys(before, after)
+    if delta:
+        raise AssertionError(
+            f"digest is not memo-blind: {delta[:4]} moved after a "
+            "checkpoint + accelerator-cache clear"
+        )
+
+
 def _victim_counters(cache) -> Dict[int, int]:
     """Keyed random-victim draw counts per set (empty for deterministic
     policies), identical between the flat plane and the reference tier."""

@@ -9,7 +9,8 @@ hand-picked scenarios; this module *searches* for divergence instead:
 1. :func:`generate_trace` derives, from one seed, an attack-shaped
    operation schedule (calibrate, candidate building, ``TestEviction``
    batteries, prime+probe monitoring, cross-core victim stores, flushes,
-   address-space churn, way-partition setup) over a small machine.
+   address-space churn, way-partition setup, machine checkpoint/restore
+   via :mod:`repro.memsys.snapshot`) over a small machine.
 2. :func:`run_trace` replays the trace on one tier — the tier guards are
    the product ones (``kernels_disabled()`` / ``lanes_disabled()`` / the
    reference-cache class swap), honoring ``REPRO_NO_NUMPY`` — recording
@@ -47,6 +48,7 @@ from ..errors import ReproError
 from ..exec import Campaign, arithmetic_seeds
 from ..memsys import kernels_disabled, lanes_disabled
 from ..memsys.machine import Machine
+from ..memsys.snapshot import checkpoint, checkpoint_key, restore
 from ..rng import resolve_rng_mode
 from .digest import diff_keys, machine_digest, obj_digest
 from .invariants import InvariantChecker, InvariantViolation, invariant_hook
@@ -109,6 +111,7 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
         }
     ops: List[List[Any]] = [["calibrate"]]
     pools: List[int] = []  # symbolic pool sizes, mirrored by the replayer
+    snaps = 0  # checkpoints taken so far, mirrored by the replayer's stack
 
     def _pool_pick() -> int:
         return rng.randrange(len(pools))
@@ -117,7 +120,7 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
     pools.append(ops[-1][2])
     choices = (
         "pool candidates test test test_many probe probe chase flush "
-        "flush_all churn advance victim monitor"
+        "flush_all churn advance victim monitor snapshot restore"
     ).split()
     for _ in range(max(1, cfg.n_ops)):
         kind = rng.choice(choices)
@@ -195,6 +198,13 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
                 rng.randint(3, pools[i] - 1),
                 rng.randint(20_000, 60_000),
             ])
+        elif kind == "snapshot":
+            ops.append(["snapshot"])
+            snaps += 1
+        elif kind == "restore":
+            if not snaps:
+                continue
+            ops.append(["restore", rng.randrange(snaps)])
     return {
         "machine": cfg.machine,
         "noise": noise,
@@ -274,7 +284,11 @@ def _levels_digest(levels: Sequence[Any]) -> str:
 
 
 def _run_op(
-    machine: Machine, ctx: AttackerContext, pools: List[List[int]], op: List
+    machine: Machine,
+    ctx: AttackerContext,
+    pools: List[List[int]],
+    cps: List[Any],
+    op: List,
 ) -> Any:
     kind = op[0]
     hier = machine.hierarchy
@@ -346,6 +360,25 @@ def _run_op(
             )
         machine.run_until(start + count * interval + 1_000)
         return machine.now
+    if kind == "snapshot":
+        # Exact machine checkpoint (DESIGN.md §2.8).  The recorded key
+        # folds in the full machine digest, so a tier whose state drifted
+        # by checkpoint time diverges right here, not ops later.
+        cp = checkpoint(machine, label=f"fuzz-{len(cps)}")
+        cps.append(cp)
+        return checkpoint_key(cp)
+    if kind == "restore":
+        # Digest-verified rewind to an earlier checkpoint.  Machine-only
+        # by design: attacker-context state (thresholds, pools, page
+        # tables) deliberately survives, so post-restore ops exercise
+        # stale-translation and frame-aliasing paths identically on every
+        # tier.  Shrinking can strip the snapshot an op targeted; an empty
+        # stack replays as a deterministic no-op marker.
+        if not cps:
+            return "restore:none"
+        cp = cps[op[1] % len(cps)]
+        restore(machine, cp)
+        return checkpoint_key(cp)
     if kind == "monitor":
         _, i, n, duration = op
         pool = pools[i]
@@ -376,6 +409,7 @@ def run_trace(
         machine = _build_machine(trace, tier)
         ctx = AttackerContext(machine, seed=trace["ctx_seed"])
         pools: List[List[int]] = []
+        cps: List[Any] = []  # checkpoint stack, indexed by restore ops
         records: List[Any] = []
         violation: Optional[str] = None
         checker = InvariantChecker(machine.hierarchy)
@@ -387,7 +421,7 @@ def run_trace(
         with hook:
             for op in trace["ops"]:
                 try:
-                    records.append(_run_op(machine, ctx, pools, op))
+                    records.append(_run_op(machine, ctx, pools, cps, op))
                 except InvariantViolation as exc:
                     violation = str(exc)
                     break
@@ -397,6 +431,11 @@ def run_trace(
                     # tiers; recording them makes a one-tier-only failure
                     # show up as an ordinary divergence.
                     records.append(["err", type(exc).__name__, str(exc)])
+                if op[0] == "restore":
+                    # A rewind legally runs noise clocks backwards; drop
+                    # the monotonicity baseline so the next check starts
+                    # from the restored state.
+                    checker.reset_clocks()
                 if check_invariants:
                     try:
                         checker.check()
@@ -414,6 +453,13 @@ def run_trace(
         "digest": machine_digest(machine),
         "violation": violation,
         "checks": checker.checks,
+        # Keys of every checkpoint taken (artifacts persist these, so a
+        # cross-tier or batch-vs-serial diff pins state at snapshot time).
+        "checkpoints": [
+            rec
+            for taken, rec in zip(trace["ops"], records)
+            if taken[0] == "snapshot" and isinstance(rec, str)
+        ],
     }
 
 
@@ -442,6 +488,7 @@ def run_tiers(
     return {
         "ops": len(trace["ops"]),
         "checks": reference["checks"],
+        "checkpoints": reference["checkpoints"],
         "divergent": sorted(diffs),
         "diffs": diffs,
         "violations": violations,

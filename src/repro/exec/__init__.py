@@ -48,6 +48,13 @@ from .executor import (
     run_trial_batch,
 )
 from .journal import DEFAULT_JOURNAL_DIR, CampaignJournal
+from .prefix import (
+    TrialPrefixStore,
+    lease_construction_prefix,
+    prefix_enabled,
+    prefix_key,
+    thread_store,
+)
 from .progress import ProgressReporter
 from .spec import (
     Campaign,
@@ -69,6 +76,7 @@ __all__ = [
     "ExecPolicy",
     "ProgressReporter",
     "ResultCodec",
+    "TrialPrefixStore",
     "TrialResult",
     "TrialSpec",
     "TrialTimeout",
@@ -80,8 +88,12 @@ __all__ = [
     "dataclass_codec",
     "default_jobs",
     "grid_campaign",
+    "lease_construction_prefix",
+    "prefix_enabled",
+    "prefix_key",
     "run_campaign",
     "run_trial_batch",
     "seed_stream",
     "summarize_construction_samples",
+    "thread_store",
 ]

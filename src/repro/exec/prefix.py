@@ -1,0 +1,221 @@
+"""Content-addressed trial-prefix store: restore instead of re-simulate.
+
+Every construction trial starts with the same expensive, fully
+deterministic prefix: build the machine, calibrate the attacker's
+latency thresholds, allocate and translate the candidate page pool
+(:func:`~repro.core.evset.build_candidate_set`), and pop the target.
+The prefix is a pure function of ``(environment, seed, page offset)``
+— so when the *same* trial spec runs again (fleet shard retries,
+resumed campaigns re-executing a shard, benchmark repeat loops, the
+memo-replay ``construct`` stage), re-simulating it is pure waste.
+
+This store keys that prefix by a content address
+(:func:`~repro.check.digest.obj_digest` of the environment spec, seed,
+page offset and resolved RNG mode) and caches the *live* machine and
+attacker context behind an exact
+:class:`~repro.memsys.snapshot.MachineCheckpoint` plus the context-side
+state the machine checkpoint deliberately does not own:
+
+* the attacker RNG stream (``ctx.rng`` — construction consumes it),
+* the unused page pool (``ctx._pool``) and the candidate VA list,
+* the calibrated thresholds,
+* the attacker address space's page table, bump pointer, and spawned
+  RNG stream (so post-restore allocations replay the same frames,
+  which keeps every VA->line memo coherent without dropping it).
+
+A :func:`lease` restores all of that bit-for-bit (digest-verified) and
+hands the machine/context out for one more construction.  Restoring is
+O(touched rows); on the construction workload it replaces hundreds of
+thousands of simulated accesses.  Because the restore is exact it is
+legal under **both** RNG contracts — unlike the counter-mode-only
+construction memo in :mod:`repro.memsys.vec`, with which it composes:
+the leased context keeps its kernels' memo tables across leases, so
+repeated constructions hit the memo-replay fast path.
+
+Gating: off unless ``REPRO_PREFIX_CACHE=1`` (or a caller passes an
+explicit store).  The store is thread-local — fleet shard workers each
+get their own, so leased machines are never shared across threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.evset import build_candidate_set
+from ..envs import EnvLike, make_env
+from ..memsys.snapshot import MachineCheckpoint, checkpoint, checkpoint_key, restore
+
+__all__ = [
+    "TrialPrefix",
+    "TrialPrefixStore",
+    "prefix_enabled",
+    "prefix_key",
+    "thread_store",
+    "lease_construction_prefix",
+]
+
+
+def prefix_enabled() -> bool:
+    """Whether trial-prefix reuse is switched on (``REPRO_PREFIX_CACHE=1``)."""
+    return os.environ.get("REPRO_PREFIX_CACHE", "0") == "1"
+
+
+def _env_fingerprint(env: EnvLike) -> object:
+    """A digest-stable description of an environment argument."""
+    if dataclasses.is_dataclass(env) and not isinstance(env, type):
+        return {"spec": dataclasses.asdict(env)}
+    return {"name": str(env)}
+
+
+def prefix_key(env: EnvLike, seed: int, page_offset: int) -> str:
+    """Content address of one construction trial's prefix.
+
+    Includes the resolved RNG mode: ``REPRO_RNG`` changes the machine
+    that ``make_env`` builds, so the same ``(env, seed)`` under a
+    different contract is a different prefix.
+    """
+    from ..check.digest import obj_digest
+    from ..rng import resolve_rng_mode
+
+    mode = getattr(env, "rng_mode", None) or resolve_rng_mode()
+    return obj_digest(
+        {
+            "kind": "construction-prefix",
+            "env": _env_fingerprint(env),
+            "seed": seed,
+            "page_offset": page_offset,
+            "rng_mode": mode,
+        }
+    )
+
+
+class TrialPrefix:
+    """One cached prefix: a live environment pinned at its checkpoint.
+
+    The machine and context objects stay alive inside the store;
+    :meth:`lease` rewinds them to the post-candidate-pool instant and
+    hands them out.  Exactly one lease may be outstanding at a time
+    (the store is thread-local, and a trial runs to completion before
+    the next lease on the same thread).
+    """
+
+    __slots__ = (
+        "key", "machine", "ctx", "cp", "target", "vas",
+        "rng_state", "pool", "thresholds", "aspace_state", "leases",
+    )
+
+    def __init__(self, key: str, env: EnvLike, seed: int, page_offset: int):
+        self.key = key
+        machine, ctx = make_env(env, seed=seed)
+        cand = build_candidate_set(ctx, page_offset)
+        self.machine = machine
+        self.ctx = ctx
+        self.target = cand.vas.pop()
+        self.vas = tuple(cand.vas)
+        self.rng_state = ctx.rng.getstate()
+        self.pool = tuple(ctx._pool)
+        self.thresholds = (ctx.threshold_private, ctx.threshold_llc)
+        aspace = ctx.aspace
+        self.aspace_state = (
+            aspace._rng.getstate(),
+            dict(aspace._page_table),
+            aspace._next_vpn,
+        )
+        # Taken last, after every prefix side effect has landed.
+        self.cp = checkpoint(machine, label="construction-prefix")
+        self.leases = 0
+
+    def checkpoint_key(self) -> str:
+        """Content address of the captured machine state."""
+        return checkpoint_key(self.cp)
+
+    def lease(self, verify: bool = True) -> Tuple[object, object, int, List[int]]:
+        """Rewind to the checkpoint; returns (machine, ctx, target, vas).
+
+        The first lease after construction is free (the environment is
+        already *at* the checkpoint).  The returned candidate list is a
+        fresh copy — construction algorithms consume it.
+        """
+        if self.leases:
+            restore(self.machine, self.cp, verify=verify)
+            ctx = self.ctx
+            ctx.rng.setstate(self.rng_state)
+            ctx._pool[:] = self.pool
+            ctx.threshold_private, ctx.threshold_llc = self.thresholds
+            aspace = ctx.aspace
+            rng_state, page_table, next_vpn = self.aspace_state
+            aspace._rng.setstate(rng_state)
+            aspace._page_table.clear()
+            aspace._page_table.update(page_table)
+            aspace._next_vpn = next_vpn
+        self.leases += 1
+        return self.machine, self.ctx, self.target, list(self.vas)
+
+
+class TrialPrefixStore:
+    """A small LRU of :class:`TrialPrefix` entries (live machines).
+
+    Entries pin a whole simulated machine each, so the cap stays small;
+    the workloads that benefit (retry/resume/repeat) cycle over very few
+    distinct keys.
+    """
+
+    def __init__(self, cap: int = 4) -> None:
+        self.cap = cap
+        self._entries: Dict[str, TrialPrefix] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lease(
+        self, env: EnvLike, seed: int, page_offset: int, verify: bool = True
+    ) -> Tuple[object, object, int, List[int], bool]:
+        """(machine, ctx, target, candidate vas, was-it-a-hit)."""
+        key = prefix_key(env, seed, page_offset)
+        entry = self._entries.pop(key, None)
+        hit = entry is not None
+        if entry is None:
+            self.misses += 1
+            entry = TrialPrefix(key, env, seed, page_offset)
+            if len(self._entries) >= self.cap:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+        else:
+            self.hits += 1
+        self._entries[key] = entry  # re-insert = move to MRU
+        machine, ctx, target, vas = entry.lease(verify=verify)
+        return machine, ctx, target, vas, hit
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_LOCAL = threading.local()
+
+
+def thread_store() -> TrialPrefixStore:
+    """This thread's prefix store (created on first use).
+
+    Thread-local by design: a leased machine is a live, mutable
+    simulation — two fleet shard workers must never share one.
+    """
+    store = getattr(_LOCAL, "store", None)
+    if store is None:
+        store = _LOCAL.store = TrialPrefixStore()
+    return store
+
+
+def lease_construction_prefix(
+    env: EnvLike, seed: int, page_offset: int
+) -> Tuple[object, object, int, List[int], bool]:
+    """Module-level convenience over :func:`thread_store`."""
+    return thread_store().lease(env, seed, page_offset)

@@ -25,7 +25,8 @@ from .lanes import HAVE_NUMPY, LaneKernels, lanes_disabled
 from .machine import Machine
 from .replacement import make_policy
 from .slice_hash import ComplexSliceHash, LinearSliceHash, make_slice_hash
-from .vec import VecKernels, vec_disabled
+from .snapshot import MachineCheckpoint, checkpoint, checkpoint_key, restore
+from .vec import VecKernels, construct_memo_disabled, vec_disabled
 
 __all__ = [
     "AddressSpace",
@@ -39,6 +40,7 @@ __all__ = [
     "Level",
     "LinearSliceHash",
     "Machine",
+    "MachineCheckpoint",
     "NOISE_OWNER",
     "PlaneRows",
     "SetAssociativeCache",
@@ -46,7 +48,11 @@ __all__ = [
     "VecKernels",
     "batch_disabled",
     "batch_supported",
+    "checkpoint",
+    "checkpoint_key",
+    "construct_memo_disabled",
     "kernels_disabled",
+    "restore",
     "lanes_disabled",
     "run_batched",
     "stack_shared_planes",

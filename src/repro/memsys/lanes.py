@@ -49,7 +49,9 @@ inherited PR-3 kernels unchanged.
 from __future__ import annotations
 
 import os
+from collections import Counter
 from contextlib import contextmanager
+from operator import itemgetter
 from typing import Dict, Optional, Tuple
 
 from .._util import poisson
@@ -95,6 +97,12 @@ def lanes_disabled():
 #: (duplicate lines) is remembered as None, distinct from "not compiled".
 _MISSING = object()
 
+#: Step-tuple field extractors for the C-level plan precompute passes.
+_L2SET = itemgetter(2)
+_K1 = itemgetter(4)
+_K2 = itemgetter(5)
+_SK = itemgetter(6)
+
 
 class LanePlan:
     """Sweep-invariant facts for one (candidate tuple, count) pair.
@@ -108,15 +116,29 @@ class LanePlan:
     (for hoisted touched-bit marking).  The step tuples are shared with
     the per-VA facts table (:meth:`LaneKernels._build_facts`), so a
     plan is a list of pointers, not copies.
+
+    ``k1set``/``k2set``/``skset`` are the plan's ``_where`` keys as
+    frozensets: the flush kernel intersects them with each cache's live
+    index once per call, so the ~89%-miss membership prechecks become
+    one C-level set intersection instead of per-row dict probes.
+    ``l2_need`` counts rows per L2 set (the no-evict fill gate).
     """
 
-    __slots__ = ("steps", "l1_uniq", "l2_uniq", "shared_uniq")
+    __slots__ = ("steps", "l1_uniq", "l2_uniq", "shared_uniq",
+                 "k1set", "k2set", "skset", "l2_need")
 
     def __init__(self, steps, l1_uniq, l2_uniq, shared_uniq) -> None:
         self.steps = steps
         self.l1_uniq = l1_uniq
         self.l2_uniq = l2_uniq
         self.shared_uniq = shared_uniq
+        # C-level passes (itemgetter map / Counter) — plans are mostly
+        # single-use during pruning (the candidate tuple changes every
+        # test), so per-plan precompute must stay near-free.
+        self.k1set = frozenset(map(_K1, steps))
+        self.k2set = frozenset(map(_K2, steps))
+        self.skset = frozenset(map(_SK, steps))
+        self.l2_need = Counter(map(_L2SET, steps))
 
 
 class LaneKernels(AttackKernels):
@@ -318,10 +340,14 @@ class LaneKernels(AttackKernels):
                 h2._where, h2._tags, h2._owners, h2._occ, h2._state,
                 h2._lru, h2._pt_invalidate,
             )
+        # Cold cores whose private caches are *empty* stay empty for the
+        # whole flush (a flush never fills a private cache — noise-insert
+        # back-invalidations only remove), so they can be dropped from
+        # the per-row probe lists entirely.
         cold1 = [(c._where, c.remove)
-                 for i, c in enumerate(hier.l1) if i not in hot]
+                 for i, c in enumerate(hier.l1) if i not in hot and c._where]
         cold2 = [(c._where, c.remove)
-                 for i, c in enumerate(hier.l2) if i not in hot]
+                 for i, c in enumerate(hier.l2) if i not in hot and c._where]
         sf = hier.sf
         llc = hier.llc
         sf_where = sf._where
@@ -359,51 +385,75 @@ class LaneKernels(AttackKernels):
             ins_sf = hier.noise_insert_sf
             ins_llc = hier.noise_insert_llc
             prev_sidx = -1
+        # Batched membership prechecks (the ~89%-miss case): one C-level
+        # ``dict.keys() & frozenset`` intersection per cache replaces the
+        # per-row probes into the (much larger) live indexes.  Sound
+        # because a flush never *installs* a real line into a private
+        # cache or the SF: noise inserts carry tags >= _NOISE_TAG_BASE
+        # (key-disjoint from plan keys) and the reuse path only moves
+        # evicted real tags into the LLC — so a plan key absent here at
+        # loop start stays absent until its own row.  The LLC is the one
+        # structure that can *gain* a real plan key mid-loop (that reuse
+        # path), so its probes stay live.  Keys found here are still
+        # popped guardedly: a noise-insert eviction can back-invalidate
+        # a private copy (or evict an SF line) before its row comes up.
+        hit_m1 = m1w.keys() & plan.k1set
+        hit_m2 = m2w.keys() & plan.k2set
+        if two_hot:
+            hit_h1 = h1w.keys() & plan.k1set
+            hit_h2 = h2w.keys() & plan.k2set
+        else:
+            hit_h1 = hit_h2 = ()
+        hit_sf = sf_where.keys() & plan.skset
         for (line, s1, s2, sidx, k1, k2, sk,
              b1, p1, b2, p2, bsf, bllc) in plan.steps:
-            if k1 in m1w:
-                slot = m1w.pop(k1)
-                m1t[slot] = None
-                m1o[slot] = 0
-                m1c[s1] -= 1
-                if m1l is not None:
-                    m1l._inv_stamp = stamp = m1l._inv_stamp - 1
-                    m1s[slot] = stamp
-                else:
-                    m1pi(m1s, p1, slot - b1)
-            if two_hot and k1 in h1w:
-                slot = h1w.pop(k1)
-                h1t[slot] = None
-                h1o[slot] = 0
-                h1c[s1] -= 1
-                if h1l is not None:
-                    h1l._inv_stamp = stamp = h1l._inv_stamp - 1
-                    h1s[slot] = stamp
-                else:
-                    h1pi(h1s, p1, slot - b1)
+            if k1 in hit_m1:
+                slot = m1w.pop(k1, None)
+                if slot is not None:
+                    m1t[slot] = None
+                    m1o[slot] = 0
+                    m1c[s1] -= 1
+                    if m1l is not None:
+                        m1l._inv_stamp = stamp = m1l._inv_stamp - 1
+                        m1s[slot] = stamp
+                    else:
+                        m1pi(m1s, p1, slot - b1)
+            if k1 in hit_h1:
+                slot = h1w.pop(k1, None)
+                if slot is not None:
+                    h1t[slot] = None
+                    h1o[slot] = 0
+                    h1c[s1] -= 1
+                    if h1l is not None:
+                        h1l._inv_stamp = stamp = h1l._inv_stamp - 1
+                        h1s[slot] = stamp
+                    else:
+                        h1pi(h1s, p1, slot - b1)
             for w, rm in cold1:
                 if k1 in w:
                     rm(s1, line)
-            if k2 in m2w:
-                slot = m2w.pop(k2)
-                m2t[slot] = None
-                m2o[slot] = 0
-                m2c[s2] -= 1
-                if m2l is not None:
-                    m2l._inv_stamp = stamp = m2l._inv_stamp - 1
-                    m2s[slot] = stamp
-                else:
-                    m2pi(m2s, p2, slot - b2)
-            if two_hot and k2 in h2w:
-                slot = h2w.pop(k2)
-                h2t[slot] = None
-                h2o[slot] = 0
-                h2c[s2] -= 1
-                if h2l is not None:
-                    h2l._inv_stamp = stamp = h2l._inv_stamp - 1
-                    h2s[slot] = stamp
-                else:
-                    h2pi(h2s, p2, slot - b2)
+            if k2 in hit_m2:
+                slot = m2w.pop(k2, None)
+                if slot is not None:
+                    m2t[slot] = None
+                    m2o[slot] = 0
+                    m2c[s2] -= 1
+                    if m2l is not None:
+                        m2l._inv_stamp = stamp = m2l._inv_stamp - 1
+                        m2s[slot] = stamp
+                    else:
+                        m2pi(m2s, p2, slot - b2)
+            if k2 in hit_h2:
+                slot = h2w.pop(k2, None)
+                if slot is not None:
+                    h2t[slot] = None
+                    h2o[slot] = 0
+                    h2c[s2] -= 1
+                    if h2l is not None:
+                        h2l._inv_stamp = stamp = h2l._inv_stamp - 1
+                        h2s[slot] = stamp
+                    else:
+                        h2pi(h2s, p2, slot - b2)
             for w, rm in cold2:
                 if k2 in w:
                     rm(s2, line)
@@ -669,9 +719,45 @@ class LaneKernels(AttackKernels):
         # values captured right after our own last fill prove the plane
         # untouched in between (noise inserts, back-invalidations, and
         # victim dispositions all break the match and force a rescan).
+        # Every one of our own fills also *pre-checks* continuity before
+        # moving the counters: updating the guard blindly at a free-way
+        # fill would mask a foreign write (reuse insert, noise, victim
+        # disposition) that landed since our previous fill and leave a
+        # stale captured order looking valid.
         vq_sidx = -1
         vq_order = None
         vq_ptr = vq_stamp = vq_inv = 0
+        # The same predictor for the structures the non-shared sweeps
+        # thrash: the SF lane (sf mode primes one congruent set, so a
+        # single-set slot like the LLC's suffices) and the private L2
+        # plane (rows interleave many L2 sets, so captured orders are
+        # dict-keyed per set under one shared continuity guard — our own
+        # tracked fills to other sets leave a set's age order intact).
+        sfq_ok = not shared and sf_lru is not None
+        sfq_sidx = -1
+        sfq_order = None
+        sfq_ptr = sfq_stamp = sfq_inv = 0
+        l2q: Dict[int, list] = {}
+        l2q_stamp = l2q_inv = 0
+        if shared:
+            h2q: Dict[int, list] = {}
+            h2q_stamp = h2q_inv = 0
+        # No-evict fill gate: when every planned L2 set has room for all
+        # of its rows, no main-core L2 fill of this sweep can evict
+        # (mid-sweep L2 traffic only ever removes lines), so the victim
+        # branch and the per-row SF disposition probe are skipped
+        # wholesale.
+        l2_free_all = True
+        for s, c in plan.l2_need.items():
+            if l2_occ[s] + c > l2_ways:
+                l2_free_all = False
+                break
+        if shared:
+            h2_free_all = True
+            for s, c in plan.l2_need.items():
+                if h2_occ[s] + c > l2_ways:
+                    h2_free_all = False
+                    break
         # Touched-bit marking hoisted out of the row loop (idempotent;
         # same final bits and counts as the per-row marks it replaces).
         # The LLC bits are only marked by the unfused path when the
@@ -759,13 +845,41 @@ class LaneKernels(AttackKernels):
                     if sf_lru is not None:
                         sf_lru._stamp = stamp = sf_lru._stamp + 1
                         sf_state[fslot] = stamp
+                        # Free-way fill: pre-check continuity, then move
+                        # the guard past our own write.
+                        if stamp - 1 != sfq_stamp or sf_lru._inv_stamp != sfq_inv:
+                            sfq_sidx = -1
+                        sfq_stamp = stamp
+                        sfq_inv = sf_lru._inv_stamp
                     else:
                         sf_pfill(sf_state, sidx * sf_pstride, fslot - sf_base)
             else:
                 fused = False
                 if sf_lru is not None:
-                    seg = sf_state[sf_base:sf_base + sf_ways]
-                    wayf = seg.index(min(seg))
+                    if (sfq_ok and sf_lru._stamp == sfq_stamp
+                            and sf_lru._inv_stamp == sfq_inv):
+                        if sidx == sfq_sidx:
+                            wayf = sfq_order[sfq_ptr]
+                            sfq_ptr += 1
+                            if sfq_ptr == sf_ways:
+                                sfq_ptr = 0
+                        else:
+                            # Guard chain intact but set unseen: a
+                            # stable run — capture its age order.
+                            seg = sf_state[sf_base:sf_base + sf_ways]
+                            sfq_order = sorted(range(sf_ways),
+                                               key=seg.__getitem__)
+                            wayf = sfq_order[0]
+                            sfq_sidx = sidx
+                            sfq_ptr = 1 if sf_ways > 1 else 0
+                    else:
+                        # Guard broken (foreign SF write since our last
+                        # fill) or shared mode: plain argmin, no capture
+                        # — a sorted() here would be thrown away again
+                        # next row in thrash-heavy sweeps.
+                        seg = sf_state[sf_base:sf_base + sf_ways]
+                        wayf = seg.index(min(seg))
+                        sfq_sidx = -1
                 else:
                     wayf = sf_pvict(sf_state, sidx * sf_pstride)
                 sfv += 1
@@ -779,6 +893,12 @@ class LaneKernels(AttackKernels):
                 if sf_lru is not None:
                     sf_lru._stamp = stamp = sf_lru._stamp + 1
                     sf_state[fslot] = stamp
+                    if sfq_ok:
+                        # Continuity holds by construction: the victim
+                        # selection just verified (or re-captured) the
+                        # plane and nothing of ours intervened.
+                        sfq_stamp = stamp
+                        sfq_inv = sf_lru._inv_stamp
                 else:
                     sf_pfill(sf_state, sidx * sf_pstride, wayf)
                 if eowner >= 0:
@@ -789,15 +909,37 @@ class LaneKernels(AttackKernels):
                     if ev2 is not None and ev2[0] < _NOISE_TAG_BASE:
                         inv_everywhere(ev2[0])
             # Fill private (L2 then L1) — see kernels.load_sweep.
-            if l2_occ[l2_idx] < l2_ways:
+            if l2_free_all or l2_occ[l2_idx] < l2_ways:
                 slot2 = l2_tags.index(None, l2_base, l2_base + l2_ways)
                 way2 = slot2 - l2_base
                 l2_occ[l2_idx] += 1
                 vline = None
             else:
                 if l2_lru is not None:
-                    seg = l2_state[l2_base:l2_base + l2_ways]
-                    way2 = seg.index(min(seg))
+                    if (l2q_stamp == l2_lru._stamp
+                            and l2q_inv == l2_lru._inv_stamp):
+                        ent = l2q.get(l2_idx)
+                        if ent is not None:
+                            order = ent[0]
+                            ptr = ent[1]
+                            way2 = order[ptr]
+                            ptr += 1
+                            ent[1] = 0 if ptr == l2_ways else ptr
+                        else:
+                            seg = l2_state[l2_base:l2_base + l2_ways]
+                            order = sorted(range(l2_ways),
+                                           key=seg.__getitem__)
+                            way2 = order[0]
+                            l2q[l2_idx] = [order, 1 if l2_ways > 1 else 0]
+                    else:
+                        # Guard broken: plain argmin, drop every
+                        # captured order (cheap — the back-invalidation
+                        # heavy llc mode breaks the chain most rows and
+                        # must not pay capture cost it cannot reuse).
+                        if l2q:
+                            l2q.clear()
+                        seg = l2_state[l2_base:l2_base + l2_ways]
+                        way2 = seg.index(min(seg))
                 else:
                     way2 = l2_pvict(l2_state, l2_pbase)
                 l2v += 1
@@ -810,6 +952,14 @@ class LaneKernels(AttackKernels):
             if l2_lru is not None:
                 l2_lru._stamp = stamp = l2_lru._stamp + 1
                 l2_state[slot2] = stamp
+                # Pre-write continuity check (see the predictor notes):
+                # a mismatch means a foreign L2 write landed since our
+                # last fill, so every captured age order is suspect.
+                if stamp - 1 != l2q_stamp or l2_lru._inv_stamp != l2q_inv:
+                    if l2q:
+                        l2q.clear()
+                l2q_stamp = stamp
+                l2q_inv = l2_lru._inv_stamp
             else:
                 l2_pfill(l2_state, l2_pbase, way2)
             if vline is not None:
@@ -898,6 +1048,11 @@ class LaneKernels(AttackKernels):
                         wayl = vq_order[0]
                         vq_sidx = sidx
                         vq_ptr = 1 if llc_ways > 1 else 0
+                        # Resync the guard to capture time so the fill's
+                        # continuity pre-check below recognizes this
+                        # fresh order as valid.
+                        vq_stamp = llc_lru._stamp
+                        vq_inv = llc_lru._inv_stamp
                 else:
                     wayl = llc_pvict(llc_state, sidx * llc_pstride)
                 llcv += 1
@@ -910,6 +1065,13 @@ class LaneKernels(AttackKernels):
             if llc_lru is not None:
                 llc_lru._stamp = stamp = llc_lru._stamp + 1
                 llc_state[lslot] = stamp
+                # Pre-write continuity check: a free-way fill that moved
+                # the guard blindly would mask foreign LLC writes (reuse
+                # inserts, noise, victim dispositions) landed earlier in
+                # this row and leave a stale captured order looking
+                # valid at the next victim fill.
+                if stamp - 1 != vq_stamp or llc_lru._inv_stamp != vq_inv:
+                    vq_sidx = -1
                 vq_stamp = stamp
                 vq_inv = llc_lru._inv_stamp
             else:
@@ -917,15 +1079,33 @@ class LaneKernels(AttackKernels):
             if etag2 is not None and etag2 < _NOISE_TAG_BASE:
                 inv_everywhere(etag2)
             # Fill the helper's private caches.
-            if h2_occ[l2_idx] < l2_ways:
+            if h2_free_all or h2_occ[l2_idx] < l2_ways:
                 slot2 = h2_tags.index(None, l2_base, l2_base + l2_ways)
                 way2 = slot2 - l2_base
                 h2_occ[l2_idx] += 1
                 vline = None
             else:
                 if h2_lru is not None:
-                    seg = h2_state[l2_base:l2_base + l2_ways]
-                    way2 = seg.index(min(seg))
+                    if (h2q_stamp == h2_lru._stamp
+                            and h2q_inv == h2_lru._inv_stamp):
+                        ent = h2q.get(l2_idx)
+                        if ent is not None:
+                            order = ent[0]
+                            ptr = ent[1]
+                            way2 = order[ptr]
+                            ptr += 1
+                            ent[1] = 0 if ptr == l2_ways else ptr
+                        else:
+                            seg = h2_state[l2_base:l2_base + l2_ways]
+                            order = sorted(range(l2_ways),
+                                           key=seg.__getitem__)
+                            way2 = order[0]
+                            h2q[l2_idx] = [order, 1 if l2_ways > 1 else 0]
+                    else:
+                        if h2q:
+                            h2q.clear()
+                        seg = h2_state[l2_base:l2_base + l2_ways]
+                        way2 = seg.index(min(seg))
                 else:
                     way2 = h2_pvict(h2_state, l2_pbase)
                 h2v += 1
@@ -938,6 +1118,11 @@ class LaneKernels(AttackKernels):
             if h2_lru is not None:
                 h2_lru._stamp = stamp = h2_lru._stamp + 1
                 h2_state[slot2] = stamp
+                if stamp - 1 != h2q_stamp or h2_lru._inv_stamp != h2q_inv:
+                    if h2q:
+                        h2q.clear()
+                h2q_stamp = stamp
+                h2q_inv = h2_lru._inv_stamp
             else:
                 h2_pfill(h2_state, l2_pbase, way2)
             if vline is not None:
