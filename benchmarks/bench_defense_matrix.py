@@ -1,0 +1,117 @@
+"""Defense matrix — Section 8's mitigation landscape, measured.
+
+The paper surveys mitigations qualitatively: partition-based designs
+(Intel CAT / DAWG way partitioning, page coloring) offer strong
+guarantees at a provisioning cost, randomization-based designs (CEASER,
+skewed associativity) are cheaper but historically leakier, and
+software-only schemes (Zhou et al.'s copy-on-access isolation) need no
+hardware support.  This benchmark runs the *full attack pipeline*
+against each implemented defense and prints the matrix: eviction-set
+construction success, PSD-scanner accuracy, and end-to-end nonce-bit
+recovery, per defense, on identically-seeded machines.
+
+Expected shape (the assertions below):
+
+* **none** — the whole pipeline works: construction near 100%, monitor
+  accuracy well above coin-flip, nonce bits recovered.
+* **way-partition** — construction still succeeds (the attacker builds
+  eviction sets inside its own ways; partitioning hides nothing about
+  set mappings) but cross-domain eviction is gone, so monitoring and
+  recovery collapse.
+* **ceaser / skew** — the keyed index breaks the page-offset → set
+  contract Step 1 relies on; no eviction set ever covers the target,
+  and the later stages never get off the ground.
+* **soft-copy** — placement is unchanged, so construction succeeds;
+  per-domain copies absorb the victim's insertions, blinding the
+  monitor like hardware partitioning does.
+"""
+
+from __future__ import annotations
+
+from _common import print_header, run_benchmark_campaign
+from repro.analysis import Table
+from repro.defenses import DEFENSE_NAMES
+from repro.defenses.matrix import (
+    DefenseTrialConfig,
+    DefenseTrialSample,
+    defense_trial,
+    summarize_defense_samples,
+)
+from repro.exec.spec import dataclass_codec
+
+TRIALS = 2
+BASE_SEED = 1000
+
+
+def run_defense_matrix() -> dict:
+    print_header(
+        "Defense matrix: the attack pipeline vs. Section 8's mitigations",
+        "Paper: partitioning blinds the probe, randomization breaks "
+        "construction; here both are measured stage by stage.",
+    )
+    runs = []
+    for defense in DEFENSE_NAMES:
+        cfg = DefenseTrialConfig(env="cloud", defense=defense)
+        runs += [(cfg, BASE_SEED + i) for i in range(TRIALS)]
+    samples = run_benchmark_campaign(
+        "defense-matrix",
+        defense_trial,
+        runs,
+        codec=dataclass_codec(DefenseTrialSample),
+    )
+    rows = summarize_defense_samples(samples)
+    table = Table(
+        "Defense matrix (cloud env)",
+        ["Defense", "Constr", "Covered", "Monitor", "Identified",
+         "Recovered", "BER"],
+    )
+    by_defense = {}
+    for row in rows:
+        by_defense[row["defense"]] = row
+        table.add_row(
+            row["defense"],
+            f"{row['construct_rate'] * 100:.0f}%",
+            f"{row['target_covered'] * 100:.0f}%",
+            f"{row['monitor_accuracy'] * 100:.0f}%",
+            f"{row['identified'] * 100:.0f}%",
+            f"{row['recovered'] * 100:.0f}%",
+            f"{row['ber'] * 100:.0f}%",
+        )
+    table.print()
+
+    # Shape assertions.
+    none = by_defense["none"]
+    assert none["construct_rate"] > 0.9, "undefended construction works"
+    # The per-trial held-out batch is small, so accuracy is a noisy
+    # estimate; above coin flip here, with target identification and
+    # recovery below carrying the real end-to-end claim.
+    assert none["monitor_accuracy"] > 0.5, "undefended monitor separates"
+    assert none["identified"] > 0, "undefended attack finds the target"
+    assert none["recovered"] > 0.1, "undefended attack recovers nonce bits"
+    for randomized in ("ceaser", "skew"):
+        assert by_defense[randomized]["target_covered"] == 0.0, (
+            f"{randomized} should defeat bulk construction"
+        )
+        assert by_defense[randomized]["recovered"] == 0.0
+    for isolating in ("way-partition", "soft-copy"):
+        assert by_defense[isolating]["construct_rate"] > 0.9, (
+            f"{isolating} does not hide set mappings"
+        )
+        assert by_defense[isolating]["recovered"] < none["recovered"]
+        assert by_defense[isolating]["identified"] == 0.0, (
+            f"{isolating} should blind target identification"
+        )
+    return {
+        "none_recovered": none["recovered"],
+        "none_monitor_accuracy": none["monitor_accuracy"],
+        "way_partition_identified": by_defense["way-partition"]["identified"],
+        "ceaser_covered": by_defense["ceaser"]["target_covered"],
+    }
+
+
+def bench_defense_matrix(run_once):
+    run_once(run_defense_matrix)
+
+
+if __name__ == "__main__":
+    run_defense_matrix()

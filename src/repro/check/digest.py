@@ -111,7 +111,26 @@ def plane_digest(machine) -> str:
                     for s, cset in sorted(cache._sets.items())
                 ],
             ])
+    # Composite wrappers (randomized indexes, partitions) may carry
+    # state beyond their inner planes — residency maps, rekey epochs,
+    # auto-rekey counters — published via ``snapshot_extra()``; fold it
+    # in so a restore that left a wrapper map stale diverges here.
+    hier = machine.hierarchy
+    for label, cache in (("llc", hier.llc), ("sf", hier.sf)):
+        extra = getattr(cache, "snapshot_extra", None)
+        if callable(extra):
+            planes.append([f"{label}#extra", sorted_extra(extra())])
     return obj_digest(planes)
+
+
+def sorted_extra(extra: Dict[str, Any]) -> List[Any]:
+    """Canonical (order-stable) form of a wrapper's ``snapshot_extra``."""
+    out: List[Any] = []
+    for key in sorted(extra):
+        value = extra[key]
+        out.append([key, sorted(value.items()) if isinstance(value, dict)
+                    else value])
+    return out
 
 
 def assert_digest_memo_blind(machine, ctx=None) -> None:

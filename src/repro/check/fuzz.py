@@ -9,7 +9,8 @@ hand-picked scenarios; this module *searches* for divergence instead:
 1. :func:`generate_trace` derives, from one seed, an attack-shaped
    operation schedule (calibrate, candidate building, ``TestEviction``
    batteries, prime+probe monitoring, cross-core victim stores, flushes,
-   address-space churn, way-partition setup, machine checkpoint/restore
+   address-space churn, defense setup (way partition / randomized index /
+   soft copy, with epoch-rekey ops), machine checkpoint/restore
    via :mod:`repro.memsys.snapshot`) over a small machine.
 2. :func:`run_trace` replays the trace on one tier — the tier guards are
    the product ones (``kernels_disabled()`` / ``lanes_disabled()`` / the
@@ -42,7 +43,7 @@ from ..core.evset.candidates import build_candidate_set
 from ..core.evset.primitives import EvictionTester
 from ..core.evset.types import EvictionSet
 from ..core.monitor import ParallelProbing, monitor_set
-from ..defenses import apply_way_partitioning
+from ..defenses import DEFENSE_NAMES, apply_defense, apply_way_partitioning
 from ..defenses.partition import OTHER_DOMAIN
 from ..errors import ReproError
 from ..exec import Campaign, arithmetic_seeds
@@ -66,9 +67,16 @@ _PAGE_OFFSETS = (0x000, 0x140, 0x240, 0x2C0, 0x380)
 class FuzzConfig:
     """Picklable knobs for one fuzz trial (trace shape, not content).
 
-    ``noise``/``partition`` accept ``"mix"`` to let each trace draw its
-    own setting from the trace seed — the default, so one campaign covers
-    quiet, noisy, partitioned, and unpartitioned machines.
+    ``noise``/``partition``/``defense`` accept ``"mix"`` to let each
+    trace draw its own setting from the trace seed — the default, so one
+    campaign covers quiet, noisy, defended, and undefended machines.
+
+    ``defense`` is the general axis (any :data:`repro.defenses.registry.
+    DEFENSE_NAMES` entry, or ``"mix"``); ``partition`` is the legacy
+    way-partition-only knob it grew out of.  An explicit ``defense``
+    wins; otherwise ``partition="always"`` forces way partitioning and
+    ``partition="never"`` forces an undefended machine, exactly as
+    before the axis existed.
     """
 
     machine: str = "tiny"
@@ -77,6 +85,7 @@ class FuzzConfig:
     n_ops: int = 10
     rng_mode: str = "serial"  # "serial" | "counter" (DESIGN.md §2.6/§2.7)
     check_invariants: bool = True
+    defense: str = "mix"  # DEFENSE_NAMES entry | "mix"
 
 
 # --- Trace generation -------------------------------------------------------
@@ -93,11 +102,24 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
     noise = cfg.noise
     if noise == "mix":
         noise = rng.choice(("none", "none", "cloud-quiet", "cloud"))
+    # Defense axis: an explicit cfg.defense wins; otherwise the legacy
+    # partition knob keeps its exact pre-axis meaning, and full mix mode
+    # draws any defense (half the traces stay undefended).
+    defense_kind = cfg.defense
+    if defense_kind == "mix":
+        if cfg.partition == "always":
+            defense_kind = "way-partition"
+        elif cfg.partition == "never":
+            defense_kind = "none"
+        else:
+            defense_kind = rng.choice(
+                ("none",) * (len(DEFENSE_NAMES) - 1) + DEFENSE_NAMES[1:]
+            )
     partition = None
-    want_partition = cfg.partition == "always" or (
-        cfg.partition == "mix" and rng.random() < 0.25
-    )
-    if want_partition:
+    defense = None
+    if defense_kind == "way-partition":
+        # Emitted under the legacy "partition" trace key (not "defense")
+        # so pre-axis artifacts and replays keep working unchanged.
         machine_cfg = MACHINE_PRESETS[cfg.machine]()
         att_sf = rng.randint(2, max(2, machine_cfg.sf.ways - 2))
         att_llc = rng.randint(1, max(1, machine_cfg.llc.ways - 1))
@@ -109,6 +131,28 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
                 OTHER_DOMAIN: machine_cfg.llc.ways - att_llc,
             },
         }
+    elif defense_kind == "soft-copy":
+        machine_cfg = MACHINE_PRESETS[cfg.machine]()
+        att_sf = rng.randint(1, machine_cfg.sf.ways - 1)
+        oth_sf = rng.randint(1, machine_cfg.sf.ways - att_sf)
+        att_llc = rng.randint(1, machine_cfg.llc.ways - 1)
+        oth_llc = rng.randint(1, machine_cfg.llc.ways - att_llc)
+        defense = {
+            "kind": "soft-copy",
+            "core_domains": [[c, "att"] for c in range(machine_cfg.cores)],
+            "sf": {"att": att_sf, OTHER_DOMAIN: oth_sf},
+            "llc": {"att": att_llc, OTHER_DOMAIN: oth_llc},
+        }
+    elif defense_kind in ("ceaser", "skew"):
+        defense = {
+            "kind": defense_kind,
+            "seed": rng.randrange(1 << 31),
+            # Mostly manual-rekey machines (the explicit rekey op covers
+            # epoch turns); sometimes aggressive auto-rekey mid-access.
+            "epoch_accesses": rng.choice((0, 0, 64, 256)),
+        }
+        if defense_kind == "skew":
+            defense["n_skews"] = 2
     ops: List[List[Any]] = [["calibrate"]]
     pools: List[int] = []  # symbolic pool sizes, mirrored by the replayer
     snaps = 0  # checkpoints taken so far, mirrored by the replayer's stack
@@ -122,6 +166,8 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
         "pool candidates test test test_many probe probe chase flush "
         "flush_all churn advance victim monitor snapshot restore"
     ).split()
+    if defense_kind in ("ceaser", "skew"):
+        choices += ["rekey", "rekey"]
     for _ in range(max(1, cfg.n_ops)):
         kind = rng.choice(choices)
         if kind == "pool":
@@ -205,6 +251,8 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
             if not snaps:
                 continue
             ops.append(["restore", rng.randrange(snaps)])
+        elif kind == "rekey":
+            ops.append(["rekey"])
     return {
         "machine": cfg.machine,
         "noise": noise,
@@ -212,6 +260,7 @@ def generate_trace(cfg: FuzzConfig, seed: int) -> Dict[str, Any]:
         "seed": rng.randrange(1 << 31),
         "ctx_seed": rng.randrange(1 << 31),
         "partition": partition,
+        "defense": defense,
         "ops": ops,
     }
 
@@ -265,8 +314,15 @@ def _build_machine(trace: Dict[str, Any], tier: str) -> Machine:
     )
     with builder:
         machine = Machine(cfg, noise=noise, seed=trace["seed"])
+    # Defense setup happens after the reference-swap block on purpose:
+    # composite defense caches always wrap flat inner planes, on every
+    # tier (matching the pre-axis way-partition behavior) — the tiers
+    # still differ in the private-cache type and the code paths taken.
+    defense = trace.get("defense")
     partition = trace.get("partition")
-    if partition:
+    if defense:
+        apply_defense(machine, defense)
+    elif partition:
         apply_way_partitioning(
             machine,
             {core: domain for core, domain in partition["core_domains"]},
@@ -379,6 +435,16 @@ def _run_op(
         cp = cps[op[1] % len(cps)]
         restore(machine, cp)
         return checkpoint_key(cp)
+    if kind == "rekey":
+        # Epoch turn on every randomized shared cache (duck-probed, so a
+        # shrunk trace that lost its defense replays as a no-op marker).
+        # Invalidation counts are part of the record: a tier whose
+        # residency drifted by rekey time diverges right here.
+        counts = []
+        for cache in (hier.sf, hier.llc):
+            rekey = getattr(cache, "rekey", None)
+            counts.append(len(rekey()) if callable(rekey) else -1)
+        return f"rekey:{counts[0]}/{counts[1]}"
     if kind == "monitor":
         _, i, n, duration = op
         pool = pools[i]

@@ -204,26 +204,48 @@ def resident_keys(cache) -> Set[int]:
     """All ``tag * n_sets + set`` keys currently resident in ``cache``.
 
     Handles the flat plane, the reference oracle, and any duck-typed
-    wrapper exposing ``_parts`` (the way-partitioning defense).
+    composite exposing the ``parts()`` protocol (way partitioning,
+    randomized indexes, soft copies) — for those the union of the inner
+    planes' keys is returned, so for index-randomizing wrappers the set
+    half of a key is the *internal* set.  A tag resident in more than
+    one part is a violation unless the composite declares
+    ``allows_cross_part_copies`` (copy-on-access designs legally hold
+    one copy per domain).
     """
     if type(cache) is SetAssociativeCache:
         return _flat_resident_keys(cache)
     if isinstance(cache, ReferenceSetAssociativeCache):
         return _reference_resident_keys(cache)
-    parts = getattr(cache, "_parts", None)
-    if parts is not None:
+    parts = getattr(cache, "parts", None)
+    if callable(parts):
+        copies_ok = getattr(cache, "allows_cross_part_copies", False)
         keys: Set[int] = set()
-        for part in parts.values():
+        tags: Set[int] = set()
+        for part in parts().values():
             part_keys = resident_keys(part)
-            overlap = keys & part_keys
-            if overlap:
+            part_tags = {key // part.n_sets for key in part_keys}
+            overlap = tags & part_tags
+            if overlap and not copies_ok:
                 raise InvariantViolation(
                     f"{cache.name}: line resident in two partitions "
-                    f"(keys {sorted(overlap)[:4]}...)"
+                    f"(tags {sorted(overlap)[:4]}...)"
                 )
             keys |= part_keys
+            tags |= part_tags
         return keys
     return set()
+
+
+def resident_tags(cache) -> Set[int]:
+    """All tags currently resident in ``cache``, however it is indexed.
+
+    The tag of a shared cache is the full line address, so tags — unlike
+    ``resident_keys``, whose set half is internal for index-randomizing
+    composites — compare meaningfully *between* structures; the SF/LLC
+    exclusivity check runs at this level.
+    """
+    n_sets = cache.n_sets
+    return {key // n_sets for key in resident_keys(cache)}
 
 
 def _cache_clocks(cache) -> Dict[int, int]:
@@ -241,20 +263,27 @@ def _cache_clocks(cache) -> Dict[int, int]:
 
 
 def _iter_caches(hier) -> List[Tuple[str, object]]:
-    """(label, cache) pairs for every structure, partitions expanded."""
+    """(label, cache) pairs for every structure, composites expanded.
+
+    Any shared cache exposing the ``parts()`` protocol (partitioned,
+    randomized, copy-on-access) contributes its inner flat caches under
+    ``label[part]`` names, so composite implementations never need
+    checker edits.
+    """
     out: List[Tuple[str, object]] = []
     for i, cache in enumerate(hier.l1):
         out.append((f"l1[{i}]", cache))
     for i, cache in enumerate(hier.l2):
         out.append((f"l2[{i}]", cache))
     for label, cache in (("llc", hier.llc), ("sf", hier.sf)):
-        parts = getattr(cache, "_parts", None)
-        if parts is None:
-            out.append((label, cache))
-        else:
+        parts = getattr(cache, "parts", None)
+        if callable(parts):
             out.extend(
-                (f"{label}[{domain}]", part) for domain, part in parts.items()
+                (f"{label}[{domain}]", part)
+                for domain, part in parts().items()
             )
+        else:
+            out.append((label, cache))
     return out
 
 
@@ -280,15 +309,33 @@ class InvariantChecker:
             elif isinstance(cache, ReferenceSetAssociativeCache):
                 check_reference_cache(cache, label, deep=deep)
             self._check_clocks(label, cache)
-        shared = resident_keys(hier.sf) & resident_keys(hier.llc)
-        if shared:
-            n_sets = hier.llc.n_sets
-            tag, s = divmod(sorted(shared)[0], n_sets)
-            raise InvariantViolation(
-                f"non-inclusive exclusivity violated: tag {tag} is both "
-                f"SF-private and LLC-shared in set {s} "
-                f"({len(shared)} line(s) total)"
-            )
+        # Composite self-checks (pure reads): any shared cache exposing
+        # ``validate()`` — e.g. the randomized wrappers' residency-map /
+        # keyed-index consistency — is folded into the violation model.
+        for label, cache in (("llc", hier.llc), ("sf", hier.sf)):
+            validate = getattr(cache, "validate", None)
+            if callable(validate):
+                try:
+                    validate()
+                except ReproError as exc:
+                    raise InvariantViolation(f"{label}: {exc}") from exc
+        # SF/LLC non-inclusive exclusivity, compared at tag level: the
+        # shared-cache tag is the full line address, so tags are the one
+        # coordinate that means the same thing whatever index function
+        # either structure runs.  Copy-on-access designs legally leave a
+        # stale domain copy behind when another domain's copy is evicted
+        # to the LLC, so the check stands down for them.
+        if not (
+            getattr(hier.sf, "allows_cross_part_copies", False)
+            or getattr(hier.llc, "allows_cross_part_copies", False)
+        ):
+            shared = resident_tags(hier.sf) & resident_tags(hier.llc)
+            if shared:
+                raise InvariantViolation(
+                    f"non-inclusive exclusivity violated: tag "
+                    f"{sorted(shared)[0]} is both SF-private and "
+                    f"LLC-shared ({len(shared)} line(s) total)"
+                )
 
     def reset_clocks(self) -> None:
         """Forget remembered noise clocks (call after a checkpoint restore).

@@ -179,6 +179,8 @@ def cmd_attack(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    if getattr(args, "positional_name", None):
+        args.name = args.positional_name
     if getattr(args, "rng", None):
         # Campaign trial specs carry string env names resolved per trial
         # (possibly in worker processes), so the mode travels via the
@@ -203,7 +205,28 @@ def cmd_campaign(args) -> int:
         print(f"journal: {journal.path}")
     print(format_progress(result.metrics, label=campaign.name))
     values = result.values()
-    if values and isinstance(values[0], ConstructionSample):
+    from .defenses.matrix import DefenseTrialSample, summarize_defense_samples
+
+    if values and isinstance(values[0], DefenseTrialSample):
+        table = Table(
+            "Defense matrix",
+            ["Defense", "Trials", "Constr", "Covered", "Monitor",
+             "Identified", "Recovered", "BER", "Errors"],
+        )
+        for row in summarize_defense_samples(values):
+            table.add_row(
+                row["defense"],
+                row["trials"],
+                f"{row['construct_rate'] * 100:.0f}%",
+                f"{row['target_covered'] * 100:.0f}%",
+                f"{row['monitor_accuracy'] * 100:.0f}%",
+                f"{row['identified'] * 100:.0f}%",
+                f"{row['recovered'] * 100:.0f}%",
+                f"{row['ber'] * 100:.1f}%",
+                row["errors"],
+            )
+        table.print()
+    elif values and isinstance(values[0], ConstructionSample):
         summary = summarize_construction_samples(values)
         table = Table(
             "Construction campaign summary",
@@ -276,6 +299,7 @@ def cmd_fuzz(args) -> int:
         partition=args.partition,
         n_ops=args.ops,
         rng_mode=resolve_rng_mode(args.rng),
+        defense=args.defense,
     )
     if args.batch is not None:
         from .check import batch_vs_serial
@@ -409,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a named trial campaign on the parallel engine "
         "(journaled, resumable)",
     )
+    p.add_argument("positional_name", nargs="?", default=None,
+                   metavar="NAME", choices=sorted(CLI_CAMPAIGNS),
+                   help="campaign name (equivalent to --name)")
     p.add_argument("--name", default="construction",
                    choices=sorted(CLI_CAMPAIGNS))
     p.add_argument("--campaign-env", default="cloud",
@@ -422,6 +449,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-offset", type=lambda s: int(s, 0), default=0x240)
     p.add_argument("--filtered", action="store_true",
                    help="enable L2-driven candidate filtering (Table 4)")
+    p.add_argument("--defenses", default=None,
+                   help="defense-matrix: comma-separated defense names "
+                   "(default: all of none,way-partition,ceaser,skew,"
+                   "soft-copy)")
+    p.add_argument("--stages", default=None,
+                   help="defense-matrix: comma-separated pipeline stages "
+                   "(prefix of construct,monitor,recover)")
+    p.add_argument("--bulk-budget-ms", type=float, default=500.0,
+                   help="defense-matrix: overall simulated deadline for "
+                   "the bulk-construction stage (bounds trials whose "
+                   "defense defeats construction)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = all cores)")
     p.add_argument("--timeout-s", type=float, default=None,
@@ -532,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partition", default="mix",
                    choices=["never", "always", "mix"],
                    help="way-partitioning defense in the trace grammar")
+    p.add_argument("--defense", default="mix",
+                   choices=["mix", "none", "way-partition", "ceaser",
+                            "skew", "soft-copy"],
+                   help="pin the trace grammar's defense axis to one "
+                   "defense (default: draw per trace)")
     p.add_argument("--ops", type=int, default=10,
                    help="operations drawn per trace (plus setup)")
     p.add_argument("--jobs", type=int, default=1,

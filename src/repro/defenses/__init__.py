@@ -2,16 +2,40 @@
 
 The paper classifies mitigations into partition-based designs (complex,
 higher overhead, strong guarantees) and randomization-based designs
-(cheap, weaker guarantees).  This subpackage implements a representative
-partition-based defense — per-tenant **way partitioning** of the shared
-LLC and Snoop Filter (Intel CAT / DAWG style) — so its effect on every
-stage of the attack can be measured inside the simulator:
+(cheap, weaker guarantees).  This subpackage implements one family of
+each, plus a software-only scheme, behind a single pluggable interface
+(every defense cache duck-types :class:`repro.memsys.cache.
+SetAssociativeCache`, so the hierarchy and all execution tiers run
+unmodified):
 
-* eviction sets still build (within the attacker's own ways), but
-* the victim's insertions can no longer evict the attacker's lines, so
-  Prime+Probe goes blind (see examples/defense_evaluation.py).
+* **way partitioning** (Intel CAT / DAWG style, partition-based):
+  cross-domain contention disappears; Prime+Probe goes blind.
+* **CEASER** keyed index with epoch rekeying and **skewed
+  associativity** (randomization-based): congruence in the attacker's
+  address view stops implying congruence in the cache, and rekeying
+  bounds the lifetime of any discovered eviction set.
+* **copy-on-access soft isolation** (Zhou et al., software-only):
+  per-domain line copies inside cacheability quotas.
+
+:mod:`repro.defenses.registry` names them all (JSON-able specs +
+:func:`~repro.defenses.registry.apply_defense`), and
+:mod:`repro.defenses.matrix` runs the full attack pipeline against each
+and reports which survive (``python -m repro campaign defense-matrix``).
 """
 
 from .partition import WayPartitionedCache, apply_way_partitioning
+from .randomized import CeaserCache, SkewedCache
+from .registry import DEFENSE_NAMES, apply_defense, default_defense_spec
+from .software import SoftCopyCache, apply_soft_copy_partitioning
 
-__all__ = ["WayPartitionedCache", "apply_way_partitioning"]
+__all__ = [
+    "WayPartitionedCache",
+    "apply_way_partitioning",
+    "CeaserCache",
+    "SkewedCache",
+    "SoftCopyCache",
+    "apply_soft_copy_partitioning",
+    "DEFENSE_NAMES",
+    "apply_defense",
+    "default_defense_spec",
+]

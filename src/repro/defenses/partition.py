@@ -67,6 +67,20 @@ class WayPartitionedCache:
             for domain, ways in partitions.items()
         }
 
+    #: Whether one tag may legitimately be resident in several parts at
+    #: once (copy-on-access designs set this; the invariant checker's
+    #: partition-overlap scan keys off it).
+    allows_cross_part_copies = False
+
+    def parts(self) -> Dict[str, SetAssociativeCache]:
+        """Inner flat caches by domain label (checker/snapshot protocol)."""
+        return self._parts
+
+    def bind_keyed_victims(self, crng, cache_id: int) -> None:
+        """Counter-mode keyed-victim pass-through (distinct sub-ids)."""
+        for i, part in enumerate(self._parts.values()):
+            part.bind_keyed_victims(crng, (cache_id + 1) * 1000 + i)
+
     # -- Interface mirrored from SetAssociativeCache ------------------------
 
     def _domain(self, owner: int) -> str:

@@ -1,0 +1,112 @@
+"""Software-level soft isolation: copy-on-access cacheability management.
+
+Zhou, Reiter & Zhang ("A Software Approach to Defeating Side Channels in
+Last-Level Caches", CCS'16) defeat LLC channels without hardware support
+by (a) giving each security domain its own *copy* of a shared line on
+first access — so a victim access never touches, and never evicts, a
+line the attacker can observe — and (b) capping how many cacheable lines
+each domain may keep per set (cacheability management), which bounds the
+eviction pressure any domain can exert.
+
+:class:`SoftCopyCache` models both on top of the
+:class:`~repro.defenses.partition.WayPartitionedCache` machinery:
+
+* each domain's quota is its partition (the cacheability budget: a
+  domain's insertions can only ever evict inside its own quota);
+* **insert does not migrate** — where the hardware partition *moves* a
+  line between domains on a cross-domain insert, the soft scheme leaves
+  the other domain's copy resident and installs a fresh copy in the
+  inserting domain's quota (copy-on-access), so one tag may legitimately
+  be resident in several parts at once (``allows_cross_part_copies``);
+* **remove invalidates every copy** — back-invalidations and flushes are
+  coherence actions and must not leave stale per-domain copies behind.
+
+Honest modeling caveats: ``lookup`` has no owner annotation in the duck
+interface, so a hit refreshes recency in the *first* part holding a copy
+(parts iterate in quota-declaration order); and because copies consume
+quota ways, total residency across parts can exceed the physical
+associativity of the cache being modeled — the applier therefore checks
+that the quota sum fits the physical way count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..memsys.hierarchy import NOISE_OWNER, SHARED_OWNER
+from ..memsys.machine import Machine
+from .partition import OTHER_DOMAIN, WayPartitionedCache
+
+
+class SoftCopyCache(WayPartitionedCache):
+    """Copy-on-access cache: per-domain copies inside per-domain quotas."""
+
+    kind = "soft-copy"
+    allows_cross_part_copies = True
+
+    def insert(
+        self, set_idx: int, tag: int, owner: int = 0, update_owner: bool = True
+    ):
+        """Install/refresh the inserting domain's *own* copy of the tag.
+
+        Copies held by other domains stay resident (copy-on-access) —
+        the single behavioral difference from the hardware partition,
+        whose insert migrates the line into the inserting domain.
+        """
+        target = self._parts[self._domain(owner)]
+        return target.insert(set_idx, tag, owner, update_owner=update_owner)
+
+    def remove(self, set_idx: int, tag: int) -> bool:
+        """Invalidate every domain's copy (coherence action)."""
+        removed = False
+        for part in self._parts.values():
+            removed = part.remove(set_idx, tag) or removed
+        return removed
+
+
+def apply_soft_copy_partitioning(
+    machine: Machine,
+    core_domains: Dict[int, str],
+    sf_quotas: Dict[str, int],
+    llc_quotas: Optional[Dict[str, int]] = None,
+) -> None:
+    """Replace a machine's SF and LLC with copy-on-access versions.
+
+    Must be called before any shared-cache traffic.  Unlike the hardware
+    partition (which only splits what exists), the per-domain quotas are
+    *cacheability budgets* carved out of the physical associativity, so
+    their sum must not exceed the configured way count.
+    """
+    if llc_quotas is None:
+        llc_quotas = dict(sf_quotas)
+    hier = machine.hierarchy
+    if hier.sf.touched_sets or hier.llc.touched_sets:
+        raise ConfigurationError(
+            "apply soft-copy partitioning before any shared-cache traffic"
+        )
+    cfg = machine.cfg
+    for label, quotas, physical in (
+        ("sf", sf_quotas, cfg.sf.ways),
+        ("llc", llc_quotas, cfg.llc.ways),
+    ):
+        if sum(quotas.values()) > physical:
+            raise ConfigurationError(
+                f"{label} cacheability quotas sum to {sum(quotas.values())} "
+                f"> {physical} physical ways"
+            )
+
+    def domain_of_owner(owner: int) -> str:
+        if owner in (NOISE_OWNER, SHARED_OWNER):
+            return OTHER_DOMAIN
+        return core_domains.get(owner, OTHER_DOMAIN)
+
+    rng = hier._rng
+    hier.sf = SoftCopyCache(
+        "SF", cfg.llc.total_sets, cfg.sf_policy, rng, sf_quotas,
+        domain_of_owner,
+    )
+    hier.llc = SoftCopyCache(
+        "LLC", cfg.llc.total_sets, cfg.llc_policy, rng, llc_quotas,
+        domain_of_owner,
+    )

@@ -267,8 +267,27 @@ def _cli_noise_mc(args) -> Campaign:
     return build(args)
 
 
+def _cli_defense_matrix(args) -> Campaign:
+    # Lazy: repro.defenses.matrix pulls in the whole attack pipeline.
+    from ..defenses.matrix import STAGES, defense_matrix_campaign
+
+    defenses = getattr(args, "defenses", None)
+    stages = getattr(args, "stages", None)
+    return defense_matrix_campaign(
+        env=args.campaign_env,
+        defenses=tuple(defenses.split(",")) if defenses else None,
+        trials_per_defense=args.trials,
+        algorithm=args.algo,
+        budget_ms=args.budget_ms,
+        bulk_budget_ms=getattr(args, "bulk_budget_ms", 500.0),
+        stages=tuple(stages.split(",")) if stages else STAGES,
+        base_seed=args.seed,
+    )
+
+
 CLI_CAMPAIGNS = {
     "construction": _cli_construction,
     "bulk-pageoffset": _cli_bulk_page_offset,
     "noise-mc": _cli_noise_mc,
+    "defense-matrix": _cli_defense_matrix,
 }

@@ -184,24 +184,36 @@ class _RefSnap:
 
 
 class _PartSnap:
-    """Recursive capture of a way-partitioned shared cache."""
+    """Recursive capture of any composite exposing the ``parts()``
+    protocol (way partitions, randomized wrappers, soft copies).
 
-    __slots__ = ("parts",)
+    Wrapper-local state beyond the inner planes — residency maps, rekey
+    epochs, auto-rekey counters — travels through the optional
+    ``snapshot_extra()`` / ``restore_extra()`` pair, so new composite
+    caches never need snapshot-layer edits.
+    """
+
+    __slots__ = ("parts", "extra")
 
     def __init__(self, cache) -> None:
         self.parts = {
-            domain: _snap_cache(part) for domain, part in cache._parts.items()
+            domain: _snap_cache(part) for domain, part in cache.parts().items()
         }
+        extra = getattr(cache, "snapshot_extra", None)
+        self.extra = extra() if callable(extra) else None
 
     def restore(self, cache) -> None:
+        parts = cache.parts()
         for domain, snap in self.parts.items():
-            snap.restore(cache._parts[domain])
+            snap.restore(parts[domain])
+        if self.extra is not None:
+            cache.restore_extra(self.extra)
 
 
 def _snap_cache(cache):
     if isinstance(cache, SetAssociativeCache):
         return _PlaneSnap(cache)
-    if hasattr(cache, "_parts"):
+    if callable(getattr(cache, "parts", None)):
         return _PartSnap(cache)
     if hasattr(cache, "_sets"):
         return _RefSnap(cache)

@@ -49,6 +49,65 @@ class TestGenerateTrace:
         assert trace["ops"][0] == ["calibrate"]
         assert trace["ops"][1][0] == "pool"
 
+    def test_defense_axis_deterministic(self):
+        cfg = FuzzConfig(machine="tiny", noise="none", n_ops=8)  # full mix
+        assert generate_trace(cfg, 11) == generate_trace(cfg, 11)
+
+    def test_partition_never_means_undefended(self):
+        """The legacy knob keeps its exact pre-axis meaning."""
+        trace = generate_trace(QUIET, 3)
+        assert trace["partition"] is None
+        assert trace["defense"] is None
+
+    @pytest.mark.parametrize("defense", ["ceaser", "skew", "soft-copy"])
+    def test_explicit_defense_carried_in_trace(self, defense):
+        cfg = FuzzConfig(
+            machine="tiny", noise="none", n_ops=8, defense=defense
+        )
+        trace = generate_trace(cfg, 1)
+        assert trace["defense"]["kind"] == defense
+        assert trace["partition"] is None
+        assert json.loads(json.dumps(trace)) == trace
+
+    def test_explicit_way_partition_uses_legacy_key(self):
+        """Explicit defense=way-partition emits the legacy trace shape, so
+        pre-axis artifacts and new traces replay through one code path."""
+        cfg = FuzzConfig(
+            machine="tiny", noise="none", n_ops=8, defense="way-partition"
+        )
+        trace = generate_trace(cfg, 1)
+        assert trace["partition"] is not None
+        assert trace["defense"] is None
+
+    def test_rekey_ops_only_on_randomized_defenses(self):
+        for defense in ("none", "way-partition", "soft-copy"):
+            cfg = FuzzConfig(
+                machine="tiny", noise="none", n_ops=30, defense=defense
+            )
+            ops = generate_trace(cfg, 5)["ops"]
+            assert not any(op[0] == "rekey" for op in ops)
+        found = False
+        for seed in range(6):
+            cfg = FuzzConfig(
+                machine="tiny", noise="none", n_ops=30, defense="ceaser"
+            )
+            ops = generate_trace(cfg, seed)["ops"]
+            found = found or any(op[0] == "rekey" for op in ops)
+        assert found
+
+    def test_mix_draws_every_defense(self):
+        cfg = FuzzConfig(machine="tiny", noise="none", n_ops=4)
+        kinds = set()
+        for seed in range(120):
+            trace = generate_trace(cfg, seed)
+            if trace["partition"] is not None:
+                kinds.add("way-partition")
+            elif trace["defense"] is not None:
+                kinds.add(trace["defense"]["kind"])
+            else:
+                kinds.add("none")
+        assert kinds == {"none", "way-partition", "ceaser", "skew", "soft-copy"}
+
 
 class TestRunTrace:
     def test_reference_tier_replays(self):
@@ -75,6 +134,15 @@ class TestFuzzSmoke:
     def test_noisy_partitioned_seeds_agree(self, seed):
         cfg = FuzzConfig(
             machine="tiny", noise="cloud-quiet", partition="always", n_ops=8
+        )
+        result = run_tiers(generate_trace(cfg, seed))
+        assert result["ok"], result
+
+    @pytest.mark.parametrize("defense", ["ceaser", "skew", "soft-copy"])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_defended_seeds_agree(self, defense, seed):
+        cfg = FuzzConfig(
+            machine="tiny", noise="cloud-quiet", n_ops=8, defense=defense
         )
         result = run_tiers(generate_trace(cfg, seed))
         assert result["ok"], result

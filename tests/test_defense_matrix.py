@@ -1,0 +1,178 @@
+"""The defense-evaluation matrix campaign: trials, summary, registration.
+
+Full-pipeline trials run for minutes; these tests exercise the campaign
+plumbing on ``skylake-small`` with the construct stage only (``tiny`` is
+too degenerate for bulk SF construction), which keeps them cheap while
+still proving the trial contract end-to-end: defended env build, bulk
+construction, dataclass journaling through the parallel engine, CLI and
+fleet registration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.defenses import DEFENSE_NAMES
+from repro.defenses.matrix import (
+    STAGES,
+    DefenseTrialConfig,
+    DefenseTrialSample,
+    defended_env,
+    defense_matrix_campaign,
+    defense_trial,
+    summarize_defense_samples,
+)
+from repro.envs import EnvSpec
+from repro.exec import ExecPolicy, run_campaign
+from repro.exec.campaigns import CLI_CAMPAIGNS
+from repro.exec.journal import CampaignJournal
+from repro.memsys.cache import SetAssociativeCache
+
+#: Cheap env for defense-application checks (no construction).
+TINY = EnvSpec(machine="tiny", noise="cloud-quiet")
+
+#: Smallest machine whose geometry supports bulk SF construction.
+SMALL = EnvSpec(machine="skylake-small", noise="none")
+
+CHEAP = dict(env=SMALL, budget_ms=10.0, bulk_budget_ms=60.0,
+             stages=("construct",))
+
+
+class TestDefendedEnv:
+    def test_applies_the_requested_defense(self):
+        machine, ctx = defended_env(TINY, 3, "ceaser")
+        assert machine.hierarchy.sf.kind == "ceaser"
+        assert machine.hierarchy.llc.kind == "ceaser"
+        # Calibration ran on the defended machine.
+        assert ctx.threshold_llc > ctx.threshold_private
+
+    def test_none_leaves_the_machine_undefended(self):
+        machine, _ctx = defended_env(TINY, 3, "none")
+        assert type(machine.hierarchy.sf) is SetAssociativeCache
+
+    def test_named_env_and_spec_share_the_code_path(self):
+        machine, _ctx = defended_env("local", 3, "skew")
+        assert machine.hierarchy.llc.kind == "skew"
+
+
+class TestDefenseTrial:
+    def test_construct_only_trial_on_undefended_machine(self):
+        cfg = DefenseTrialConfig(defense="none", **CHEAP)
+        sample = defense_trial(cfg, 5)
+        assert sample.defense == "none"
+        assert sample.n_evsets > 0
+        assert sample.construct_rate > 0.9
+        assert sample.target_covered
+        # Later stages were skipped, not failed.
+        assert sample.error == ""
+        assert sample.monitor_accuracy == 0.0
+        assert sample.recovered_fraction == 0.0
+
+    def test_trial_is_deterministic(self):
+        cfg = DefenseTrialConfig(defense="way-partition", **CHEAP)
+        assert defense_trial(cfg, 5) == defense_trial(cfg, 5)
+
+    @pytest.mark.slow
+    def test_randomized_defense_degrades_construction(self):
+        """The matrix's headline contrast: the keyed index breaks the
+        page-offset → set contract, so construction produces nothing
+        (and the overall deadline keeps the defeated trial bounded)."""
+        none = defense_trial(DefenseTrialConfig(defense="none", **CHEAP), 5)
+        ceaser = defense_trial(
+            DefenseTrialConfig(
+                env=SMALL, defense="ceaser", budget_ms=10.0,
+                bulk_budget_ms=10.0, stages=("construct",),
+            ),
+            5,
+        )
+        assert none.construct_rate > 0.9
+        assert ceaser.construct_rate == 0.0
+        assert ceaser.construct_timed_out or ceaser.n_evsets == 0
+        assert ceaser.error == ""  # degraded honestly, did not crash
+
+    def test_empty_stage_tuple_short_circuits(self):
+        cfg = dataclasses.replace(
+            DefenseTrialConfig(defense="none", **CHEAP), stages=()
+        )
+        sample = defense_trial(cfg, 5)
+        assert sample.n_evsets == 0 and sample.error == ""
+
+
+class TestCampaign:
+    def test_grid_pairs_seeds_across_defenses(self):
+        campaign = defense_matrix_campaign(
+            env=TINY, defenses=["none", "ceaser"], trials_per_defense=3
+        )
+        assert len(campaign.configs) == 6
+        assert campaign.seeds == (1000, 1001, 1002) * 2
+        assert [c.defense for c in campaign.configs[:3]] == ["none"] * 3
+
+    def test_defaults_to_every_defense(self):
+        campaign = defense_matrix_campaign(env=TINY, trials_per_defense=1)
+        assert [c.defense for c in campaign.configs] == list(DEFENSE_NAMES)
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError):
+            defense_matrix_campaign(env=TINY, defenses=["mirage"])
+
+    def test_runs_through_the_engine_and_journals_dataclasses(self, tmp_path):
+        def build():
+            return defense_matrix_campaign(
+                env=SMALL,
+                defenses=["none", "way-partition"],
+                trials_per_defense=1,
+                budget_ms=10.0,
+                stages=("construct",),
+            )
+
+        campaign = build()
+        result = run_campaign(
+            campaign,
+            ExecPolicy(jobs=1),
+            journal=CampaignJournal(tmp_path, campaign),
+        )
+        assert result.ok
+        values = list(result.values())
+        assert all(isinstance(v, DefenseTrialSample) for v in values)
+        assert [v.defense for v in values] == ["none", "way-partition"]
+        # The codec round-trips through the journal: resuming the same
+        # campaign replays the journaled samples bit-identically.
+        rerun = build()
+        again = run_campaign(
+            rerun, ExecPolicy(jobs=1), journal=CampaignJournal(tmp_path, rerun)
+        )
+        assert list(again.values()) == values
+
+    def test_registered_with_cli_and_fleet(self):
+        from repro.fleet.service import SUBMITTABLE
+
+        assert "defense-matrix" in CLI_CAMPAIGNS
+        assert "defense-matrix" in SUBMITTABLE
+
+
+class TestSummary:
+    def test_aggregates_per_defense(self):
+        samples = [
+            DefenseTrialSample("none", construct_rate=1.0,
+                               target_covered=True, monitor_accuracy=0.9,
+                               target_identified=True,
+                               recovered_fraction=0.4, bit_error_rate=0.1),
+            DefenseTrialSample("none", construct_rate=0.5,
+                               target_covered=True, monitor_accuracy=0.7,
+                               recovered_fraction=0.2, bit_error_rate=0.3),
+            DefenseTrialSample("ceaser", error="monitor: no eviction set"),
+        ]
+        rows = summarize_defense_samples(samples)
+        assert [r["defense"] for r in rows] == ["none", "ceaser"]
+        none_row = rows[0]
+        assert none_row["trials"] == 2
+        assert none_row["construct_rate"] == pytest.approx(0.75)
+        assert none_row["monitor_accuracy"] == pytest.approx(0.8)
+        assert none_row["identified"] == pytest.approx(0.5)
+        assert none_row["errors"] == 0
+        assert rows[1]["errors"] == 1
+
+    def test_stage_order_is_pipeline_order(self):
+        assert STAGES == ("construct", "monitor", "recover")
